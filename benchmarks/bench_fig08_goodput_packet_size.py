@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 8: goodput vs. fixed packet size."""
+
+from _harness import bench_runner, run_figure
+
+from repro.experiments import fig08_fixed_sizes
+
+
+def test_fig08_goodput_vs_packet_size(benchmark):
+    rows = run_figure(
+        benchmark,
+        "Fig. 8 — goodput with fixed packet sizes (Firewall, NAT, FW -> NAT; 40 GbE)",
+        fig08_fixed_sizes.run,
+        runner=bench_runner(),
+    )
+    gains = {
+        (row["chain"], row["packet_size_bytes"]): row["goodput_gain_percent"] for row in rows
+    }
+    # PayloadPark wins for every chain at 384-1492 bytes (paper: 10-36 %)...
+    for chain in ("firewall", "nat", "fw_nat"):
+        for size in (512, 1024, 1492):
+            assert gains[(chain, size)] > 5.0
+    # ...and the gain shrinks to (roughly) nothing at 256 bytes.
+    for chain in ("firewall", "nat", "fw_nat"):
+        assert gains[(chain, 256)] < gains[(chain, 512)]

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 14: peak goodput vs. reserved switch memory."""
+
+from _harness import bench_runner, run_figure
+
+from repro.experiments import fig14_memory_sweep
+
+
+def test_fig14_peak_goodput_vs_memory(benchmark):
+    rows = run_figure(
+        benchmark,
+        "Fig. 14 — peak goodput vs. % of switch SRAM reserved (384-byte packets, EXP=1)",
+        fig14_memory_sweep.run,
+        runner=bench_runner(),
+    )
+    # Peak goodput must not decrease as more memory is reserved, and the
+    # largest reservation must beat the smallest one.
+    peaks = [row["peak_goodput_gbps"] for row in rows]
+    assert peaks[-1] >= peaks[0]
+    # Every reported peak is a healthy, eviction-free operating point.
+    assert all(row["premature_evictions"] == 0 for row in rows)

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed package.
+
+The canonical workflow is ``pip install -e .``; this fallback lets the
+test and benchmark suites run from a plain checkout (e.g. in offline CI
+where editable installs are awkward).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Eviction-policy tuning: expiry thresholds vs. Explicit Drop notifications.
+
+When the firewall drops packets, their parked payloads linger in the
+lookup table until the expiry threshold evicts them.  This script sweeps
+the firewall drop rate and compares an aggressive threshold (EXP=2), a
+conservative one (EXP=10), and the Explicit-Drop variant in which a
+lightly modified NF framework tells the switch about drops immediately
+(§6.2.4, Fig. 12).
+
+Run with:
+
+    python examples/eviction_policy_tuning.py
+"""
+
+from repro.experiments.fig12_explicit_drops import run as run_fig12
+from repro.experiments.runner import ExperimentRunner
+from repro.telemetry.report import render_table
+
+
+def main() -> None:
+    print("Sweeping firewall drop rates and eviction policies (FW -> NAT, enterprise mix)...")
+    rows = run_fig12(
+        drop_fractions=(0.0, 0.05, 0.10),
+        send_rate_gbps=10.5,
+        runner=ExperimentRunner(time_scale=0.75),
+    )
+    print(render_table(rows))
+    print()
+
+    def goodput(fraction, policy):
+        return next(
+            row["goodput_gbps"]
+            for row in rows
+            if row["firewall_drop_fraction"] == fraction and row["policy"] == policy
+        )
+
+    heavy = 0.10
+    aggressive = goodput(heavy, "No Explicit EXP=2")
+    conservative = goodput(heavy, "No Explicit EXP=10")
+    explicit = goodput(heavy, "Explicit EXP=10")
+    print(f"At a {heavy:.0%} firewall drop rate:")
+    print(f"  aggressive eviction (EXP=2)              : {aggressive:.3f} Gbps")
+    print(f"  conservative eviction (EXP=10)           : {conservative:.3f} Gbps")
+    print(f"  conservative + Explicit Drops (EXP=10)   : {explicit:.3f} Gbps")
+    print("Explicit Drops let a conservative policy match the aggressive one, "
+          "at the cost of a ~50-line NF-framework change (§6.2.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: compare PayloadPark against the baseline on one operating point.
+
+Builds the paper's Fig. 5 testbed in simulation — a PktGen traffic
+generator connected to a Tofino-like switch through two ports, and an NF
+server running a Firewall → NAT chain on OpenNetVM behind a 10 GbE NIC —
+and runs it twice: once with plain L2 forwarding (the baseline) and once
+with the PayloadPark program parking 160 payload bytes per packet.
+
+Run with:
+
+    python examples/quickstart.py [send_rate_gbps]
+"""
+
+import sys
+
+from repro.experiments.quickstart import quickstart_scenario
+from repro.experiments.runner import ExperimentRunner
+from repro.telemetry.report import render_table
+
+
+def main() -> None:
+    send_rate_gbps = float(sys.argv[1]) if len(sys.argv) > 1 else 10.5
+    scenario = quickstart_scenario(send_rate_gbps=send_rate_gbps)
+
+    print(f"Scenario: {scenario.name}")
+    print(f"  chain     : {scenario.chain_factory().name}")
+    print(f"  framework : {scenario.framework.name}")
+    print(f"  NIC       : {scenario.nic.name}")
+    print(f"  workload  : {scenario.workload.name} "
+          f"(mean frame {scenario.workload.mean_frame_bytes():.0f} B)")
+    print(f"  send rate : {send_rate_gbps} Gbps")
+    print()
+
+    runner = ExperimentRunner()
+    result = runner.compare(scenario)
+    comparison = result.comparison
+
+    print(render_table([comparison.baseline.as_row(), comparison.payloadpark.as_row()]))
+    print()
+    print(f"goodput gain   : {comparison.goodput_gain_percent:+.2f}%")
+    print(f"PCIe savings   : {comparison.pcie_savings_percent:+.2f}%")
+    print(f"latency delta  : {comparison.latency_delta_us:+.2f} us "
+          f"(negative means PayloadPark is faster)")
+    print(f"premature evictions (PayloadPark): {comparison.payloadpark.premature_evictions}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Compatibility shim so ``pip install -e .`` works without the ``wheel`` package.
+
+Offline environments that lack the ``wheel`` module cannot build PEP 660
+editable wheels; with this file present, ``pip install -e . --no-use-pep517
+--no-build-isolation`` falls back to the classic ``setup.py develop`` path.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""Command-line interface: regenerate any figure or table from a shell.
+
+Usage::
+
+    python -m repro list                     # show available experiments
+    python -m repro run fig07                # regenerate Fig. 7
+    python -m repro run table1
+    python -m repro quickstart --rate 10.5   # one-off comparison
+
+The CLI is a thin wrapper over the modules in :mod:`repro.experiments`;
+each experiment prints the same rows the corresponding benchmark does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    fig06_packet_size_cdf,
+    fig07_goodput_latency,
+    fig08_fixed_sizes,
+    fig09_pcie,
+    fig10_multi_server,
+    fig11_multi_server_latency,
+    fig12_explicit_drops,
+    fig13_recirculation,
+    fig14_memory_sweep,
+    fig15_nf_cycles,
+    fig16_small_packets,
+    functional_equivalence,
+    table1_resources,
+)
+
+#: Experiment name → (description, main-function) registry.
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig06": ("Enterprise packet-size CDF", fig06_packet_size_cdf.main),
+    "fig07": ("Goodput/latency vs. rate, FW->NAT->LB, 10GbE", fig07_goodput_latency.main),
+    "fig08": ("Goodput vs. fixed packet size, 40GbE", fig08_fixed_sizes.main),
+    "fig09": ("PCIe bandwidth vs. packet size", fig09_pcie.main),
+    "fig10": ("Per-server goodput, 8 NF servers", fig10_multi_server.main),
+    "fig11": ("Per-server latency, 8 NF servers", fig11_multi_server_latency.main),
+    "fig12": ("Eviction policies vs. Explicit Drops", fig12_explicit_drops.main),
+    "fig13": ("Recirculation (384 parked bytes)", fig13_recirculation.main),
+    "fig14": ("Peak goodput vs. reserved memory", fig14_memory_sweep.main),
+    "fig15": ("NF CPU cost vs. benefit", fig15_nf_cycles.main),
+    "fig16": ("512-byte packets, FW->NAT, 40GbE", fig16_small_packets.main),
+    "table1": ("Switch resource utilization", table1_resources.main),
+    "equivalence": ("Functional equivalence check (§6.2.6)", functional_equivalence.main),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PayloadPark reproduction: regenerate the paper's figures and tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment by name")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+
+    quick_parser = subparsers.add_parser(
+        "quickstart", help="run a single PayloadPark-vs-baseline comparison"
+    )
+    quick_parser.add_argument(
+        "--rate", type=float, default=10.5, help="offered load in Gbps (default 10.5)"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            description, _runner = EXPERIMENTS[name]
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    if args.command == "run":
+        _description, runner = EXPERIMENTS[args.experiment]
+        runner()
+        return 0
+
+    if args.command == "quickstart":
+        from repro.experiments.quickstart import run_quickstart
+        from repro.telemetry.report import render_table
+
+        report = run_quickstart(send_rate_gbps=args.rate)
+        print(render_table([report.baseline.as_row(), report.payloadpark.as_row()]))
+        print(f"goodput gain: {report.goodput_gain_percent:+.2f}%  "
+              f"PCIe savings: {report.pcie_savings_percent:+.2f}%")
+        return 0
+
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

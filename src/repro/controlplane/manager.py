@@ -1,0 +1,137 @@
+"""Runtime controller for a PayloadPark deployment.
+
+The controller is the control-plane counterpart of
+:class:`~repro.core.program.PayloadParkProgram`: it reads the dataplane
+counters and lookup-table occupancy, installs L2 forwarding entries, and
+implements the adaptive eviction policy the paper leaves as future work
+(§7): start with an aggressive expiry threshold for memory efficiency
+and back off to a conservative one when premature evictions appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.program import PayloadParkProgram
+
+
+class PayloadParkController:
+    """Reads state from, and pushes configuration to, a running program."""
+
+    def __init__(self, program: PayloadParkProgram) -> None:
+        self.program = program
+
+    # ------------------------------------------------------------------ #
+    # Monitoring
+    # ------------------------------------------------------------------ #
+
+    def counters(self, binding: Optional[str] = None) -> Dict[str, int]:
+        """The eight monitoring counters (§5) for one binding or the aggregate."""
+        return self.program.counters_for(binding).as_dict()
+
+    def occupancy(self) -> Dict[str, float]:
+        """Occupied fraction of every binding's lookup table."""
+        return {
+            name: table.occupancy_fraction()
+            for name, table in self.program.lookup_tables.items()
+        }
+
+    def memory_report(self) -> Dict[str, int]:
+        """SRAM bytes consumed by every binding's lookup table."""
+        return {
+            name: table.sram_bytes() for name, table in self.program.lookup_tables.items()
+        }
+
+    def health(self) -> Dict[str, bool]:
+        """Per-binding functional-equivalence health: zero premature evictions."""
+        return {
+            name: self.program.counters_for(name).premature_evictions == 0
+            for name in self.program.lookup_tables
+        }
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+
+    def install_l2_route(self, mac: str, port: int) -> None:
+        """Install a destination-MAC forwarding entry."""
+        self.program.add_l2_entry(mac, port)
+
+    def set_expiry_threshold(self, threshold: int) -> None:
+        """Change the eviction expiry threshold for subsequent Splits."""
+        if threshold < 1:
+            raise ValueError("expiry threshold must be at least 1")
+        self.program.config.expiry_threshold = threshold
+
+    @property
+    def expiry_threshold(self) -> int:
+        """The currently configured expiry threshold."""
+        return self.program.config.expiry_threshold
+
+    def reset(self) -> None:
+        """Clear dataplane state (tables, taggers, counters)."""
+        self.program.reset_state()
+
+
+@dataclass
+class AdaptiveEvictionPolicy:
+    """The adaptive eviction policy sketched in §7.
+
+    The policy starts aggressive (low threshold, best memory efficiency)
+    and becomes more conservative whenever new premature evictions are
+    observed during a control interval; after enough clean intervals it
+    steps back toward the aggressive setting.
+
+    Attributes
+    ----------
+    controller:
+        The deployment to manage.
+    aggressive_threshold / conservative_threshold:
+        Bounds of the expiry threshold.
+    eviction_tolerance:
+        Premature evictions tolerated per interval before backing off.
+    recovery_intervals:
+        Consecutive clean intervals required before stepping back down.
+    """
+
+    controller: PayloadParkController
+    aggressive_threshold: int = 1
+    conservative_threshold: int = 10
+    eviction_tolerance: int = 0
+    recovery_intervals: int = 3
+    _last_premature: int = field(default=0, init=False)
+    _clean_streak: int = field(default=0, init=False)
+    history: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.aggressive_threshold < 1:
+            raise ValueError("aggressive_threshold must be at least 1")
+        if self.conservative_threshold < self.aggressive_threshold:
+            raise ValueError("conservative_threshold must be >= aggressive_threshold")
+        self.controller.set_expiry_threshold(self.aggressive_threshold)
+
+    def observe(self) -> int:
+        """Run one control interval; return the threshold now in effect.
+
+        Call periodically (e.g. once per polling interval).  New premature
+        evictions since the last call push the threshold up one step;
+        ``recovery_intervals`` consecutive clean calls pull it down one.
+        """
+        premature = self.controller.counters()["premature_evictions"]
+        new_evictions = premature - self._last_premature
+        self._last_premature = premature
+        threshold = self.controller.expiry_threshold
+
+        if new_evictions > self.eviction_tolerance:
+            threshold = min(threshold + 1, self.conservative_threshold)
+            self._clean_streak = 0
+        else:
+            self._clean_streak += 1
+            if self._clean_streak >= self.recovery_intervals:
+                threshold = max(threshold - 1, self.aggressive_threshold)
+                self._clean_streak = 0
+
+        self.controller.set_expiry_threshold(threshold)
+        self.history.append(threshold)
+        return threshold

@@ -1,0 +1,77 @@
+"""Deployment specifications: declarative NF chain and rule-set descriptions.
+
+Cloud providers describe an NF deployment (which NFs, in what order,
+with which rule sets) in configuration rather than code; this module
+turns such a description into the concrete NF objects of
+:mod:`repro.nf`, so experiments and examples can be driven from plain
+dictionaries (or JSON/YAML parsed into them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.nf.chain import NfChain
+from repro.nf.firewall import Firewall, FirewallRule
+from repro.nf.loadbalancer import Backend, MaglevLoadBalancer
+from repro.nf.macswap import MacSwapper
+from repro.nf.nat import Nat
+from repro.nf.synthetic import SyntheticNf
+
+
+@dataclass
+class DeploymentSpec:
+    """A declarative description of one NF-server deployment.
+
+    Attributes
+    ----------
+    name:
+        Deployment name.
+    chain:
+        A list of NF descriptions.  Each entry is a dict with a ``type``
+        key (``firewall``, ``nat``, ``loadbalancer``, ``macswap`` or
+        ``synthetic``) and type-specific parameters, e.g.::
+
+            {"type": "firewall", "blacklist": ["192.168.0.0/16"]}
+            {"type": "nat", "external_ip": "203.0.113.1"}
+            {"type": "loadbalancer", "backends": {"web-1": "10.100.0.1"}}
+            {"type": "synthetic", "cycles": 300}
+    """
+
+    name: str
+    chain: List[Dict[str, Any]] = field(default_factory=list)
+
+    def build(self) -> NfChain:
+        """Materialize the NF chain described by this spec."""
+        return build_chain(self.chain, name=self.name)
+
+
+def build_chain(descriptions: List[Dict[str, Any]], name: str = "chain") -> NfChain:
+    """Build an :class:`NfChain` from a list of NF descriptions."""
+    if not descriptions:
+        raise ValueError("a deployment needs at least one NF")
+    nfs = [_build_nf(description) for description in descriptions]
+    return NfChain(nfs, name=name)
+
+
+def _build_nf(description: Dict[str, Any]):
+    kind = description.get("type")
+    if kind == "firewall":
+        rules = [FirewallRule.blacklist(cidr) for cidr in description.get("blacklist", [])]
+        if "rule_count" in description:
+            return Firewall.with_rule_count(int(description["rule_count"]))
+        return Firewall(rules=rules)
+    if kind == "nat":
+        return Nat(external_ip=description.get("external_ip", "203.0.113.1"))
+    if kind == "loadbalancer":
+        backends_spec = description.get("backends", {})
+        if isinstance(backends_spec, int):
+            return MaglevLoadBalancer.with_backend_count(backends_spec)
+        backends = [Backend.from_string(name, ip) for name, ip in backends_spec.items()]
+        return MaglevLoadBalancer(backends=backends)
+    if kind == "macswap":
+        return MacSwapper()
+    if kind == "synthetic":
+        return SyntheticNf(int(description["cycles"]))
+    raise ValueError(f"unknown NF type {kind!r}")

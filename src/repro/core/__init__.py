@@ -1,0 +1,31 @@
+"""PayloadPark: the paper's primary contribution.
+
+The core package implements the PayloadPark dataplane program — the
+Split and Merge operations of Algorithms 1 and 2, the packet tagger, the
+lookup table (metadata + payload register arrays), the payload evictor,
+Explicit Drops and the monitoring counters — on top of the RMT switch
+substrate in :mod:`repro.switchsim`, plus the baseline L2-forwarding
+program used for comparison throughout the evaluation.
+"""
+
+from repro.core.config import NfServerBinding, PayloadParkConfig
+from repro.core.counters import PayloadParkCounters
+from repro.core.header import OP_EXPLICIT_DROP, OP_MERGE, PayloadParkHeader
+from repro.core.lookup_table import LookupTable, MetadataEntry
+from repro.core.program import BaselineProgram, PayloadParkProgram, SwitchProgram
+from repro.core.tagger import PacketTagger
+
+__all__ = [
+    "PayloadParkConfig",
+    "NfServerBinding",
+    "PayloadParkHeader",
+    "OP_MERGE",
+    "OP_EXPLICIT_DROP",
+    "PayloadParkCounters",
+    "LookupTable",
+    "MetadataEntry",
+    "PacketTagger",
+    "PayloadParkProgram",
+    "BaselineProgram",
+    "SwitchProgram",
+]

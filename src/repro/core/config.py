@@ -1,0 +1,178 @@
+"""Configuration for PayloadPark deployments.
+
+The prototype exposes a handful of policy knobs (§5, §6.1): which ports
+are PayloadPark-enabled, how much switch SRAM is reserved, the expiry
+threshold, how many payload bytes are parked per packet (160, or 384
+with recirculation), and the minimum payload size worth splitting.
+:class:`PayloadParkConfig` collects them; :class:`NfServerBinding` maps
+traffic ports to the NF server they feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Bytes of payload the prototype parks per packet without recirculation.
+DEFAULT_PARKED_BYTES = 160
+
+#: Bytes parked when one recirculation pass is used (§6.2.5).
+RECIRCULATION_PARKED_BYTES = 384
+
+
+@dataclass(frozen=True)
+class NfServerBinding:
+    """Binds PayloadPark-enabled traffic ports to one NF server port.
+
+    Attributes
+    ----------
+    name:
+        Human-readable binding name (used to key counters).
+    ingress_ports:
+        Front-panel ports whose traffic is split and forwarded to the NF
+        server (the paper uses two traffic-generator ports per server so
+        the generator can saturate the server-facing link).
+    nf_port:
+        Port connected to the NF server.  Packets arriving on it are
+        treated as Merge (or Explicit Drop) requests.
+    default_egress_port:
+        Where merged packets go when no L2 entry matches their
+        destination MAC (in the paper's testbed, back to the traffic
+        generator that measures goodput).
+    memory_weight:
+        Relative share of the pipe's reserved lookup-table memory this
+        binding receives under static slicing (§6.2.3).
+    """
+
+    name: str
+    ingress_ports: Tuple[int, ...]
+    nf_port: int
+    default_egress_port: int
+    memory_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.ingress_ports:
+            raise ValueError(f"binding {self.name!r} needs at least one ingress port")
+        if self.nf_port in self.ingress_ports:
+            raise ValueError(f"binding {self.name!r}: NF port cannot also be an ingress port")
+        if self.memory_weight <= 0:
+            raise ValueError(f"binding {self.name!r}: memory_weight must be positive")
+
+
+@dataclass
+class PayloadParkConfig:
+    """Tunable parameters of a PayloadPark deployment.
+
+    Attributes
+    ----------
+    parked_bytes:
+        Payload bytes parked per packet (160 without recirculation,
+        384 with one recirculation pass).
+    min_split_payload:
+        Payloads smaller than this are not split (the prototype uses the
+        parked size, 160 bytes, to avoid wasting a whole table slot on a
+        partial payload).
+    expiry_threshold:
+        MAX_EXP — how many times the table index must revisit an occupied
+        slot before its payload is evicted (1 = aggressive, 10 =
+        conservative).
+    sram_fraction:
+        Fraction of the pipe's stateful SRAM reserved for the lookup
+        table (the paper's macro-benchmarks use ≈ 26 %; the 8-server
+        setup uses ≈ 40 %).
+    table_entries:
+        Explicit lookup-table capacity (entries).  When ``None`` the
+        capacity is derived from ``sram_fraction`` and the stage budget.
+    payload_block_bytes:
+        Width of one payload block, i.e. the bytes stored per MAT-local
+        register array (the 2-D payload table's cell size).
+    enable_recirculation:
+        Allow a second pipeline pass to park bytes beyond the first
+        pass's capacity.
+    enable_explicit_drops:
+        Accept OP=1 packets from a (lightly modified) NF framework that
+        explicitly releases parked payloads of dropped packets.
+    clock_max:
+        MAX_CLK — generation counter wrap-around value.
+    split_enabled:
+        Master switch; with ``False`` the program behaves exactly like
+        the baseline except for header overhead accounting (useful for
+        fallback-mode tests).
+    """
+
+    parked_bytes: int = DEFAULT_PARKED_BYTES
+    min_split_payload: int = DEFAULT_PARKED_BYTES
+    expiry_threshold: int = 1
+    sram_fraction: float = 0.26
+    table_entries: Optional[int] = None
+    payload_block_bytes: int = 16
+    enable_recirculation: bool = False
+    enable_explicit_drops: bool = False
+    clock_max: int = 65_536
+    split_enabled: bool = True
+    bindings: List[NfServerBinding] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.parked_bytes <= 0:
+            raise ValueError("parked_bytes must be positive")
+        if self.payload_block_bytes <= 0:
+            raise ValueError("payload_block_bytes must be positive")
+        if self.expiry_threshold < 1:
+            raise ValueError("expiry_threshold must be at least 1")
+        if not 0.0 < self.sram_fraction <= 1.0:
+            raise ValueError("sram_fraction must be in (0, 1]")
+        if self.table_entries is not None and self.table_entries <= 0:
+            raise ValueError("table_entries must be positive when given")
+        if self.clock_max < 2:
+            raise ValueError("clock_max must be at least 2")
+        if self.min_split_payload < 0:
+            raise ValueError("min_split_payload cannot be negative")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def payload_blocks(self) -> int:
+        """Number of payload blocks needed to hold ``parked_bytes``."""
+        return -(-self.parked_bytes // self.payload_block_bytes)
+
+    def first_pass_capacity_bytes(self, payload_stage_count: int) -> int:
+        """Bytes that fit in one pipeline pass given *payload_stage_count* stages."""
+        return payload_stage_count * self.payload_block_bytes
+
+    def requires_recirculation(self, payload_stage_count: int) -> bool:
+        """True when ``parked_bytes`` cannot be stored in a single pass."""
+        return self.parked_bytes > self.first_pass_capacity_bytes(payload_stage_count)
+
+    @classmethod
+    def with_recirculation(cls, **kwargs) -> "PayloadParkConfig":
+        """Convenience constructor for the §6.2.5 recirculation setup."""
+        kwargs.setdefault("parked_bytes", RECIRCULATION_PARKED_BYTES)
+        kwargs.setdefault("enable_recirculation", True)
+        return cls(**kwargs)
+
+    def derived_table_entries(self, stage_sram_bytes: int, memory_weight_share: float = 1.0) -> int:
+        """Compute the lookup-table capacity for one binding.
+
+        The payload table is striped across the payload stages, so each
+        stage holds ``entries * payload_block_bytes`` bytes of payload
+        plus (in the metadata stage) ``entries * 4`` bytes of clock +
+        expiry state.  We size entries so a payload stage consumes
+        ``sram_fraction`` of its SRAM budget, then apply the binding's
+        share under static slicing.
+
+        Parameters
+        ----------
+        stage_sram_bytes:
+            SRAM budget of a single stage.
+        memory_weight_share:
+            This binding's fraction of the reserved memory (1.0 when the
+            pipe serves a single NF server).
+        """
+        if self.table_entries is not None:
+            entries = int(self.table_entries * memory_weight_share)
+        else:
+            reserved_per_stage = self.sram_fraction * stage_sram_bytes
+            entries = int(reserved_per_stage // self.payload_block_bytes * memory_weight_share)
+        return max(entries, 1)

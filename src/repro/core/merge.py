@@ -1,0 +1,218 @@
+"""The Merge operation (Algorithm 2), expressed as match-action tables.
+
+Merge runs on packets arriving from the NF server:
+
+* **Stage 1**: packets whose Split was disabled (ENB=0) just have the
+  PayloadPark header removed; nothing was parked for them.
+* **Stage 2**: packets with ENB=1 are validated — the tag CRC must check
+  out and the generation clock in the header must match the one stored
+  in the metadata table.  A match frees the slot and flags the packet
+  for payload restoration; a mismatch means the payload was prematurely
+  evicted, so the packet is dropped and counted.  Explicit Drop requests
+  (OP=1) reclaim the slot and then drop the packet — they are a
+  memory-release notification, not user traffic.
+* **Stages 3..N**: each payload block is read back (and cleared) from
+  its register array; when the parked size spans two passes the packet
+  recirculates to collect the second pass's blocks.  The deparser
+  prepends the collected bytes to the packet's payload.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import NfServerBinding, PayloadParkConfig
+from repro.core.counters import PayloadParkCounters
+from repro.core.header import OP_EXPLICIT_DROP
+from repro.core.lookup_table import LookupTable
+from repro.switchsim.context import PipelinePacket
+from repro.switchsim.mat import MatchActionTable
+from repro.switchsim.pipeline import Pipeline
+
+#: Metadata keys used to pass information between Merge stages.
+META_IS_PP_ENB = "merge.is_pp_enb"
+META_MERGE_TBL_IDX = "merge.tbl_idx"
+META_MERGE_BLOCKS = "merge.blocks"
+META_RESTORED = "merge.restored"
+
+
+class MergePath:
+    """Installs and implements the Merge tables for one NF-server binding."""
+
+    def __init__(
+        self,
+        binding: NfServerBinding,
+        config: PayloadParkConfig,
+        pipeline: Pipeline,
+        lookup: LookupTable,
+        counters: PayloadParkCounters,
+        enb_zero_stage: int = 0,
+        validate_stage: int = 1,
+    ) -> None:
+        self.binding = binding
+        self.config = config
+        self.pipeline = pipeline
+        self.lookup = lookup
+        self.counters = counters
+        self.enb_zero_stage = enb_zero_stage
+        self.validate_stage = validate_stage
+
+    # ------------------------------------------------------------------ #
+    # Table installation
+    # ------------------------------------------------------------------ #
+
+    def install(self) -> None:
+        """Create the Merge MATs and place them into their stages."""
+        self.pipeline.stage(self.enb_zero_stage).add_table(
+            MatchActionTable(
+                name=f"{self.binding.name}.merge_enb_zero",
+                match=self._match_enb_zero,
+                action=self._action_remove_header,
+                match_bits=17,
+                vliw_slots=1,
+            )
+        )
+        self.pipeline.stage(self.validate_stage).add_table(
+            MatchActionTable(
+                name=f"{self.binding.name}.merge_validate",
+                match=self._match_enb_one,
+                action=self._action_validate,
+                match_bits=17,
+                vliw_slots=4,
+            )
+        )
+        for slot, array in self.lookup.blocks_for_pass(0):
+            self.pipeline.stage(slot.stage_index).add_table(
+                MatchActionTable(
+                    name=f"{self.binding.name}.merge_load[{slot.block_index}]",
+                    match=self._match_load_pass(0),
+                    action=self._make_load_action(slot, array),
+                    match_bits=17,
+                    vliw_slots=1,
+                )
+            )
+        if self.lookup.uses_second_pass:
+            last_stage = self.pipeline.stage_count - 1
+            self.pipeline.stage(last_stage).add_table(
+                MatchActionTable(
+                    name=f"{self.binding.name}.merge_recirculate",
+                    match=self._match_recirculation_request,
+                    action=lambda ctx: ctx.request_recirculation(),
+                    match_bits=17,
+                    vliw_slots=1,
+                )
+            )
+            for slot, array in self.lookup.blocks_for_pass(1):
+                self.pipeline.stage(slot.stage_index).add_table(
+                    MatchActionTable(
+                        name=f"{self.binding.name}.merge_load[{slot.block_index}]",
+                        match=self._match_load_pass(1),
+                        action=self._make_load_action(slot, array),
+                        match_bits=17,
+                        vliw_slots=1,
+                    )
+                )
+
+    # ------------------------------------------------------------------ #
+    # Match predicates
+    # ------------------------------------------------------------------ #
+
+    def _is_merge_ingress(self, ctx: PipelinePacket) -> bool:
+        return ctx.ingress_port == self.binding.nf_port
+
+    def _match_enb_zero(self, ctx: PipelinePacket) -> bool:
+        return (
+            self._is_merge_ingress(ctx)
+            and ctx.recirculations == 0
+            and ctx.packet.pp is not None
+            and ctx.packet.pp.enb == 0
+        )
+
+    def _match_enb_one(self, ctx: PipelinePacket) -> bool:
+        return (
+            self._is_merge_ingress(ctx)
+            and ctx.recirculations == 0
+            and ctx.packet.pp is not None
+            and ctx.packet.pp.enb == 1
+        )
+
+    def _match_load_pass(self, pass_number: int):
+        def match(ctx: PipelinePacket) -> bool:
+            return (
+                self._is_merge_ingress(ctx)
+                and ctx.recirculations == pass_number
+                and ctx.meta.get(META_IS_PP_ENB) == 1
+            )
+
+        return match
+
+    def _match_recirculation_request(self, ctx: PipelinePacket) -> bool:
+        return (
+            self._is_merge_ingress(ctx)
+            and ctx.recirculations == 0
+            and ctx.meta.get(META_IS_PP_ENB) == 1
+        )
+
+    # ------------------------------------------------------------------ #
+    # Actions
+    # ------------------------------------------------------------------ #
+
+    def _action_remove_header(self, ctx: PipelinePacket) -> None:
+        """ENB=0: nothing was parked, simply strip the PayloadPark header."""
+        ctx.packet.pp = None
+        self.counters.merge_enb_zero += 1
+
+    def _action_validate(self, ctx: PipelinePacket) -> None:
+        """Validate the tag, reclaim the slot and flag the payload restore."""
+        header = ctx.packet.pp
+        if not header.tag_is_valid():
+            self.counters.tag_validation_failures += 1
+            ctx.drop("payloadpark-tag-corrupt")
+            return
+
+        result = self.lookup.validate_and_release(ctx, header.tbl_idx, header.clk)
+        if not result.valid:
+            self.counters.premature_evictions += 1
+            ctx.drop("payloadpark-premature-eviction")
+            return
+
+        if header.op == OP_EXPLICIT_DROP:
+            # The NF framework told us it dropped the packet: the slot is
+            # reclaimed (above) and the notification itself goes no further.
+            self.counters.explicit_drops += 1
+            ctx.packet.pp = None
+            ctx.drop("payloadpark-explicit-drop")
+            return
+
+        ctx.meta[META_IS_PP_ENB] = 1
+        ctx.meta[META_MERGE_TBL_IDX] = header.tbl_idx
+        ctx.meta[META_MERGE_BLOCKS] = {}
+        ctx.packet.pp = None
+        self.counters.merges += 1
+
+    def _make_load_action(self, slot, array):
+        def action(ctx: PipelinePacket) -> None:
+            index = ctx.meta[META_MERGE_TBL_IDX]
+            block = self.lookup.load_and_clear_block(ctx, array, index)
+            ctx.meta[META_MERGE_BLOCKS][slot.block_index] = block
+
+        return action
+
+    # ------------------------------------------------------------------ #
+    # Deparser hook
+    # ------------------------------------------------------------------ #
+
+    def deparse(self, ctx: PipelinePacket) -> None:
+        """Prepend the collected payload blocks once the last pass is done.
+
+        Called from the program's deparser hook.  The restore is skipped
+        while another pass is pending and performed at most once.
+        """
+        if ctx.meta.get(META_IS_PP_ENB) != 1 or ctx.dropped:
+            return
+        if ctx.recirculate_requested:
+            return
+        if ctx.meta.get(META_RESTORED):
+            return
+        blocks = ctx.meta.get(META_MERGE_BLOCKS, {})
+        payload = b"".join(blocks[i] for i in sorted(blocks))
+        ctx.packet.restore_leading_payload(payload)
+        ctx.meta[META_RESTORED] = True

@@ -1,0 +1,339 @@
+"""Complete switch programs: PayloadPark and the baseline.
+
+A *switch program* owns a :class:`~repro.switchsim.asic.TofinoAsic`,
+installs its tables and register arrays into the pipes that serve its
+NF-server bindings, and processes packets arriving on front-panel ports.
+Two programs are provided:
+
+* :class:`PayloadParkProgram` — the paper's contribution: Split/Merge
+  with payload parking, eviction, Explicit Drops and per-binding memory
+  slicing; and
+* :class:`BaselineProgram` — plain L2 forwarding between the traffic
+  ports and the NF server, the non-PayloadPark deployment used as the
+  comparison point throughout §6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import NfServerBinding, PayloadParkConfig
+from repro.core.counters import CounterBank, PayloadParkCounters
+from repro.core.l2fwd import L2ForwardingTable
+from repro.core.lookup_table import LookupTable
+from repro.core.merge import MergePath
+from repro.core.split import SplitPath
+from repro.core.tagger import PacketTagger
+from repro.packet.ethernet import MacAddress
+from repro.packet.packet import Packet
+from repro.switchsim.asic import AsicConfig, TofinoAsic
+from repro.switchsim.context import PipelinePacket
+from repro.switchsim.mat import MatchActionTable
+from repro.switchsim.pipe import Pipe
+from repro.switchsim.resources import ResourceReport
+
+
+class SwitchProgram:
+    """Common behaviour of the PayloadPark and baseline programs."""
+
+    def __init__(
+        self,
+        bindings: List[NfServerBinding],
+        asic: Optional[TofinoAsic] = None,
+        asic_config: Optional[AsicConfig] = None,
+    ) -> None:
+        if not bindings:
+            raise ValueError("a switch program needs at least one NF-server binding")
+        self.asic = asic or TofinoAsic(asic_config)
+        self.bindings = list(bindings)
+        self.l2 = L2ForwardingTable()
+        self._validate_bindings()
+
+    # ------------------------------------------------------------------ #
+    # Binding / port helpers
+    # ------------------------------------------------------------------ #
+
+    def _validate_bindings(self) -> None:
+        seen_ports: Dict[int, str] = {}
+        for binding in self.bindings:
+            ports = list(binding.ingress_ports) + [binding.nf_port]
+            for port in ports:
+                self.asic.pipe_for_port(port)  # raises on out-of-range ports
+                if port in seen_ports:
+                    raise ValueError(
+                        f"port {port} is used by both {seen_ports[port]!r} and "
+                        f"{binding.name!r}"
+                    )
+                seen_ports[port] = binding.name
+            pipe = self.asic.pipe_for_port(binding.nf_port)
+            for port in binding.ingress_ports:
+                if self.asic.pipe_for_port(port) is not pipe:
+                    raise ValueError(
+                        f"binding {binding.name!r}: ingress port {port} and NF port "
+                        f"{binding.nf_port} must share a pipe (pipes do not share "
+                        f"stateful memory)"
+                    )
+
+    def binding_for_port(self, port: int) -> Optional[NfServerBinding]:
+        """Return the binding that owns *port* (ingress or NF side)."""
+        for binding in self.bindings:
+            if port in binding.ingress_ports or port == binding.nf_port:
+                return binding
+        return None
+
+    def bindings_in_pipe(self, pipe: Pipe) -> List[NfServerBinding]:
+        """Bindings whose ports live in *pipe*."""
+        return [
+            binding
+            for binding in self.bindings
+            if self.asic.pipe_for_port(binding.nf_port) is pipe
+        ]
+
+    def add_l2_entry(self, mac: str, port: int) -> None:
+        """Install a destination-MAC forwarding entry (control plane)."""
+        self.l2.add_entry(MacAddress.from_string(mac), port)
+
+    def _egress_for(self, ctx: PipelinePacket, binding: NfServerBinding) -> int:
+        """Egress decision for a packet heading away from the NF server."""
+        port = self.l2.lookup(ctx.packet.eth.dst, default=None)
+        if port is not None:
+            return port
+        return binding.default_egress_port
+
+    # ------------------------------------------------------------------ #
+    # Forwarding tables shared by both programs
+    # ------------------------------------------------------------------ #
+
+    def _install_forwarding(self, pipe: Pipe, binding: NfServerBinding) -> None:
+        last_stage = pipe.pipeline.stage_count - 1
+        ingress_ports = frozenset(binding.ingress_ports)
+
+        def match_from_traffic(ctx: PipelinePacket) -> bool:
+            return ctx.ingress_port in ingress_ports
+
+        def forward_to_nf(ctx: PipelinePacket) -> None:
+            ctx.forward_to(binding.nf_port)
+
+        def match_from_nf(ctx: PipelinePacket) -> bool:
+            return ctx.ingress_port == binding.nf_port
+
+        def forward_from_nf(ctx: PipelinePacket) -> None:
+            ctx.forward_to(self._egress_for(ctx, binding))
+
+        pipe.pipeline.stage(last_stage).add_table(
+            MatchActionTable(
+                name=f"{binding.name}.l2_fwd_to_nf",
+                match=match_from_traffic,
+                action=forward_to_nf,
+                match_bits=16,
+                vliw_slots=1,
+            )
+        )
+        pipe.pipeline.stage(last_stage).add_table(
+            MatchActionTable(
+                name=f"{binding.name}.l2_fwd_from_nf",
+                match=match_from_nf,
+                action=forward_from_nf,
+                match_bits=64,
+                entries=64,
+                vliw_slots=1,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Packet processing
+    # ------------------------------------------------------------------ #
+
+    def process(self, packet: Packet, ingress_port: int) -> PipelinePacket:
+        """Run *packet* through the pipe owning *ingress_port*."""
+        return self.asic.process(packet, ingress_port)
+
+    def extra_latency_ns(self, ctx: PipelinePacket) -> int:
+        """Program-specific latency beyond the base pipeline latency."""
+        pipe = self.asic.pipe_for_port(ctx.ingress_port)
+        return pipe.recirculation_latency_ns(ctx)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def resource_report(self, pipe_index: int = 0) -> ResourceReport:
+        """Table-1-style resource utilization of one pipe."""
+        return self.asic.pipes[pipe_index].resource_report()
+
+
+class BaselineProgram(SwitchProgram):
+    """The non-PayloadPark deployment: L2 forwarding only (§6.1).
+
+    Traffic-generator ports forward to the NF server; packets coming back
+    from the NF server are forwarded by destination MAC (falling back to
+    the binding's default egress port).
+    """
+
+    def __init__(
+        self,
+        bindings: List[NfServerBinding],
+        asic: Optional[TofinoAsic] = None,
+        asic_config: Optional[AsicConfig] = None,
+    ) -> None:
+        super().__init__(bindings, asic=asic, asic_config=asic_config)
+        self.name = "baseline"
+        for binding in self.bindings:
+            pipe = self.asic.pipe_for_port(binding.nf_port)
+            self._declare_phv(pipe)
+            self._install_forwarding(pipe, binding)
+
+    @staticmethod
+    def _declare_phv(pipe: Pipe) -> None:
+        pipe.phv.declare("ethernet", 112)
+        pipe.phv.declare("ipv4", 160)
+        pipe.phv.declare("udp", 64)
+        pipe.phv.declare("bridge_metadata", 16)
+
+
+class PayloadParkProgram(SwitchProgram):
+    """The PayloadPark dataplane program (Algorithms 1 and 2).
+
+    Parameters
+    ----------
+    config:
+        Deployment parameters (parked bytes, expiry threshold, reserved
+        memory fraction, …).  ``config.bindings`` may list the NF-server
+        bindings, or they can be passed separately via *bindings*.
+    bindings:
+        Overrides ``config.bindings`` when given.
+    asic / asic_config:
+        An existing simulated ASIC to install into, or the configuration
+        for a fresh one.
+    """
+
+    def __init__(
+        self,
+        config: PayloadParkConfig,
+        bindings: Optional[List[NfServerBinding]] = None,
+        asic: Optional[TofinoAsic] = None,
+        asic_config: Optional[AsicConfig] = None,
+    ) -> None:
+        resolved_bindings = list(bindings) if bindings is not None else list(config.bindings)
+        super().__init__(resolved_bindings, asic=asic, asic_config=asic_config)
+        self.name = "payloadpark"
+        self.config = config
+        self.counters = CounterBank()
+        self.lookup_tables: Dict[str, LookupTable] = {}
+        self.taggers: Dict[str, PacketTagger] = {}
+        self._merge_paths: List[MergePath] = []
+        self._split_paths: List[SplitPath] = []
+        self._install()
+
+    # ------------------------------------------------------------------ #
+    # Installation
+    # ------------------------------------------------------------------ #
+
+    def _install(self) -> None:
+        pipes_seen = []
+        for binding in self.bindings:
+            pipe = self.asic.pipe_for_port(binding.nf_port)
+            if pipe not in pipes_seen:
+                pipes_seen.append(pipe)
+                self._declare_phv(pipe)
+                self._install_deparser(pipe)
+            share = self._memory_share(binding, pipe)
+            entries = self.config.derived_table_entries(
+                stage_sram_bytes=pipe.budget.sram_bytes, memory_weight_share=share
+            )
+            lookup = LookupTable(
+                name=binding.name,
+                pipeline=pipe.pipeline,
+                entries=entries,
+                parked_bytes=self.config.parked_bytes,
+                block_bytes=self.config.payload_block_bytes,
+                allow_second_pass=self.config.enable_recirculation,
+            )
+            tagger = PacketTagger(
+                name=binding.name,
+                pipeline=pipe.pipeline,
+                table_entries=entries,
+                clock_max=self.config.clock_max,
+            )
+            counters = self.counters.for_binding(binding.name)
+            split = SplitPath(
+                binding=binding,
+                config=self.config,
+                pipeline=pipe.pipeline,
+                lookup=lookup,
+                tagger=tagger,
+                counters=counters,
+            )
+            merge = MergePath(
+                binding=binding,
+                config=self.config,
+                pipeline=pipe.pipeline,
+                lookup=lookup,
+                counters=counters,
+            )
+            split.install()
+            merge.install()
+            self._install_forwarding(pipe, binding)
+            self.lookup_tables[binding.name] = lookup
+            self.taggers[binding.name] = tagger
+            self._split_paths.append(split)
+            self._merge_paths.append(merge)
+
+    def _memory_share(self, binding: NfServerBinding, pipe: Pipe) -> float:
+        """Static memory slicing: this binding's share of the pipe's reservation."""
+        peers = self.bindings_in_pipe(pipe) or [binding]
+        total_weight = sum(peer.memory_weight for peer in peers)
+        return binding.memory_weight / total_weight
+
+    def _declare_phv(self, pipe: Pipe) -> None:
+        pipe.phv.declare("ethernet", 112)
+        pipe.phv.declare("ipv4", 160)
+        pipe.phv.declare("udp", 64)
+        pipe.phv.declare("payloadpark_header", 56)
+        pipe.phv.declare("pp_metadata", 48)
+        first_pass_bytes = min(
+            self.config.parked_bytes,
+            self.config.first_pass_capacity_bytes(pipe.pipeline.stage_count - 2),
+        )
+        pipe.phv.declare("payload_blocks", first_pass_bytes * 8)
+
+    def _install_deparser(self, pipe: Pipe) -> None:
+        def deparse(ctx: PipelinePacket) -> None:
+            for merge_path in self._merge_paths:
+                merge_path.deparse(ctx)
+
+        pipe.deparser.hook = deparse
+
+    # ------------------------------------------------------------------ #
+    # Control-plane introspection
+    # ------------------------------------------------------------------ #
+
+    def lookup_table(self, binding_name: Optional[str] = None) -> LookupTable:
+        """Return the lookup table of *binding_name* (or the only one)."""
+        if binding_name is None:
+            if len(self.lookup_tables) != 1:
+                raise ValueError("binding_name required when multiple bindings exist")
+            return next(iter(self.lookup_tables.values()))
+        return self.lookup_tables[binding_name]
+
+    def counters_for(self, binding_name: Optional[str] = None) -> PayloadParkCounters:
+        """Counters of one binding, or the aggregate when omitted."""
+        if binding_name is None:
+            return self.counters.total()
+        return self.counters.for_binding(binding_name)
+
+    def total_parked_bytes_capacity(self) -> int:
+        """Bytes of payload the deployment can park simultaneously."""
+        return sum(
+            table.entries * self.config.parked_bytes for table in self.lookup_tables.values()
+        )
+
+    def reset_state(self) -> None:
+        """Clear lookup tables, taggers and counters between runs (control plane)."""
+        for table in self.lookup_tables.values():
+            table.clear()
+        for tagger in self.taggers.values():
+            tagger.reset()
+        for counters in self.counters.counters.values():
+            counters.reset()
+        self.asic.reset_counters()

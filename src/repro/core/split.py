@@ -1,0 +1,210 @@
+"""The Split operation (Algorithm 1), expressed as match-action tables.
+
+Split runs on packets arriving at a PayloadPark-enabled ingress port:
+
+* **Stage 1** (pipeline stage 0 here, 0-indexed): the packet tagger
+  advances the table-index and clock registers and records the values in
+  the packet's user metadata.
+* **Stage 2**: the metadata table is probed at the table index.  A free
+  (or newly evicted) slot is claimed; the PayloadPark header is added
+  with ENB=1 and the tag, and the payload bytes to be parked are removed
+  from the packet.  If the slot is occupied, or the payload is smaller
+  than the minimum parking size, the header is added with every field
+  zeroed (ENB=0) and the packet continues unmodified.
+* **Stages 3..N**: the parked payload is striped block-by-block into the
+  MAT-local payload register arrays.  When the configured parked size
+  exceeds one pass's capacity, the packet is recirculated and the
+  remaining blocks are written during the second pass.
+* A final forwarding table steers the (now header-mostly) packet to the
+  binding's NF-server port.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import NfServerBinding, PayloadParkConfig
+from repro.core.counters import PayloadParkCounters
+from repro.core.header import OP_MERGE, PayloadParkHeader
+from repro.core.lookup_table import LookupTable
+from repro.core.tagger import PacketTagger
+from repro.switchsim.context import PipelinePacket
+from repro.switchsim.mat import MatchActionTable
+from repro.switchsim.pipeline import Pipeline
+
+#: Metadata keys used to pass information between Split stages, mirroring
+#: the paper's user-defined ``meta`` struct.
+META_TAG_TBL_IDX = "split.tag_tbl_idx"
+META_TAG_CLK = "split.tag_clk"
+META_PARKED_PAYLOAD = "split.parked_payload"
+
+
+class SplitPath:
+    """Installs and implements the Split tables for one NF-server binding."""
+
+    def __init__(
+        self,
+        binding: NfServerBinding,
+        config: PayloadParkConfig,
+        pipeline: Pipeline,
+        lookup: LookupTable,
+        tagger: PacketTagger,
+        counters: PayloadParkCounters,
+        tagger_stage: int = 0,
+        probe_stage: int = 1,
+    ) -> None:
+        self.binding = binding
+        self.config = config
+        self.pipeline = pipeline
+        self.lookup = lookup
+        self.tagger = tagger
+        self.counters = counters
+        self.tagger_stage = tagger_stage
+        self.probe_stage = probe_stage
+        self._ingress_ports = frozenset(binding.ingress_ports)
+
+    # ------------------------------------------------------------------ #
+    # Table installation
+    # ------------------------------------------------------------------ #
+
+    def install(self) -> None:
+        """Create the Split MATs and place them into their stages."""
+        self.pipeline.stage(self.tagger_stage).add_table(
+            MatchActionTable(
+                name=f"{self.binding.name}.split_tagger",
+                match=self._match_split_candidate,
+                action=self._action_tag,
+                match_bits=16,
+                vliw_slots=2,
+            )
+        )
+        self.pipeline.stage(self.probe_stage).add_table(
+            MatchActionTable(
+                name=f"{self.binding.name}.split_probe",
+                match=self._match_split_ingress,
+                action=self._action_probe,
+                match_bits=16,
+                vliw_slots=4,
+            )
+        )
+        for slot, array in self.lookup.blocks_for_pass(0):
+            self.pipeline.stage(slot.stage_index).add_table(
+                MatchActionTable(
+                    name=f"{self.binding.name}.split_store[{slot.block_index}]",
+                    match=self._match_store_pass(0),
+                    action=self._make_store_action(slot, array),
+                    match_bits=17,
+                    vliw_slots=1,
+                )
+            )
+        if self.lookup.uses_second_pass:
+            last_stage = self.pipeline.stage_count - 1
+            self.pipeline.stage(last_stage).add_table(
+                MatchActionTable(
+                    name=f"{self.binding.name}.split_recirculate",
+                    match=self._match_recirculation_request,
+                    action=lambda ctx: ctx.request_recirculation(),
+                    match_bits=17,
+                    vliw_slots=1,
+                )
+            )
+            for slot, array in self.lookup.blocks_for_pass(1):
+                self.pipeline.stage(slot.stage_index).add_table(
+                    MatchActionTable(
+                        name=f"{self.binding.name}.split_store[{slot.block_index}]",
+                        match=self._match_store_pass(1),
+                        action=self._make_store_action(slot, array),
+                        match_bits=17,
+                        vliw_slots=1,
+                    )
+                )
+
+    # ------------------------------------------------------------------ #
+    # Match predicates
+    # ------------------------------------------------------------------ #
+
+    def _is_split_ingress(self, ctx: PipelinePacket) -> bool:
+        return ctx.ingress_port in self._ingress_ports
+
+    def _match_split_ingress(self, ctx: PipelinePacket) -> bool:
+        return self._is_split_ingress(ctx) and ctx.recirculations == 0
+
+    def _match_split_candidate(self, ctx: PipelinePacket) -> bool:
+        """Packets worth splitting: enabled port, big enough payload."""
+        return (
+            self._match_split_ingress(ctx)
+            and self.config.split_enabled
+            and ctx.packet.payload_length >= self.config.min_split_payload
+        )
+
+    def _match_store_pass(self, pass_number: int):
+        def match(ctx: PipelinePacket) -> bool:
+            return (
+                self._is_split_ingress(ctx)
+                and ctx.recirculations == pass_number
+                and ctx.packet.pp is not None
+                and ctx.packet.pp.enb == 1
+            )
+
+        return match
+
+    def _match_recirculation_request(self, ctx: PipelinePacket) -> bool:
+        return (
+            self._is_split_ingress(ctx)
+            and ctx.recirculations == 0
+            and ctx.packet.pp is not None
+            and ctx.packet.pp.enb == 1
+        )
+
+    # ------------------------------------------------------------------ #
+    # Actions
+    # ------------------------------------------------------------------ #
+
+    def _action_tag(self, ctx: PipelinePacket) -> None:
+        """Stage-1 action: advance the tagger and stash the tag in metadata."""
+        tag = self.tagger.next_tag(ctx)
+        ctx.meta[META_TAG_TBL_IDX] = tag.tbl_idx
+        ctx.meta[META_TAG_CLK] = tag.clk
+
+    def _action_probe(self, ctx: PipelinePacket) -> None:
+        """Stage-2 action: probe the metadata table and add the header."""
+        packet = ctx.packet
+        if not self.config.split_enabled:
+            packet.pp = PayloadParkHeader.disabled()
+            return
+        if META_TAG_TBL_IDX not in ctx.meta:
+            # The tagger did not run: the payload is too small to park.
+            self.counters.split_disabled_small_payload += 1
+            packet.pp = PayloadParkHeader.disabled()
+            return
+
+        tbl_idx = ctx.meta[META_TAG_TBL_IDX]
+        clk = ctx.meta[META_TAG_CLK]
+        probe = self.lookup.probe_and_claim(
+            ctx, tbl_idx, clk, max_exp=self.config.expiry_threshold
+        )
+        if probe.evicted:
+            self.counters.evictions += 1
+        if not probe.claimed:
+            self.counters.split_disabled_table_occupied += 1
+            packet.pp = PayloadParkHeader.disabled()
+            return
+
+        parked_len = min(self.config.parked_bytes, packet.payload_length)
+        parked_payload = packet.park_leading_payload(parked_len)
+        ctx.meta[META_PARKED_PAYLOAD] = parked_payload
+        packet.pp = PayloadParkHeader(
+            enb=1, op=OP_MERGE, tbl_idx=tbl_idx, clk=clk
+        ).seal()
+        self.counters.splits += 1
+
+    def _make_store_action(self, slot, array):
+        def action(ctx: PipelinePacket) -> None:
+            parked_payload: Optional[bytes] = ctx.meta.get(META_PARKED_PAYLOAD)
+            if parked_payload is None:
+                return
+            self.lookup.store_block(
+                ctx, slot, array, ctx.packet.pp.tbl_idx, parked_payload
+            )
+
+        return action

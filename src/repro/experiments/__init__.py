@@ -1,0 +1,23 @@
+"""Experiment harness: one module per figure/table of the paper's §6.
+
+Every experiment builds on :class:`~repro.experiments.runner.ExperimentRunner`,
+which assembles a simulated testbed (traffic generator ↔ switch ↔ NF
+server(s)) for a scenario, runs it under both the PayloadPark and the
+baseline deployments, and returns comparable reports.  The benchmark
+scripts under ``benchmarks/`` are thin wrappers that print each
+experiment's rows in the shape of the corresponding paper figure.
+"""
+
+from repro.experiments.runner import (
+    DeploymentKind,
+    ExperimentResult,
+    ExperimentRunner,
+    ScenarioConfig,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "ExperimentResult",
+    "ScenarioConfig",
+    "DeploymentKind",
+]

@@ -1,0 +1,84 @@
+"""Chain factories used across the evaluation.
+
+Each factory builds a *fresh* chain (NFs hold state — NAT bindings,
+firewall counters — so every simulation run gets its own instances).
+The chains mirror §6.1: the three-NF chain's firewall has 20 rules, the
+two-NF chain's firewall has a single rule, the load balancer is
+Maglev-based and the NAT is MazuNAT-style.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nf.chain import NfChain
+from repro.nf.firewall import Firewall
+from repro.nf.loadbalancer import MaglevLoadBalancer
+from repro.nf.macswap import MacSwapper
+from repro.nf.nat import Nat
+from repro.nf.synthetic import SyntheticNf
+
+ChainFactory = Callable[[], NfChain]
+
+
+def firewall_only(rule_count: int = 1) -> ChainFactory:
+    """A single firewall NF (Fig. 8/9's "Firewall" series)."""
+
+    def build() -> NfChain:
+        return NfChain([Firewall.with_rule_count(rule_count)], name="Firewall")
+
+    return build
+
+
+def nat_only() -> ChainFactory:
+    """A single NAT NF (Fig. 8/9's "NAT" series)."""
+
+    def build() -> NfChain:
+        return NfChain([Nat()], name="NAT")
+
+    return build
+
+
+def fw_nat(rule_count: int = 1) -> ChainFactory:
+    """The two-NF chain: Firewall → NAT (single firewall rule, §6.1)."""
+
+    def build() -> NfChain:
+        return NfChain(
+            [Firewall.with_rule_count(rule_count), Nat()], name="FW -> NAT"
+        )
+
+    return build
+
+
+def fw_nat_lb(rule_count: int = 20, backend_count: int = 8) -> ChainFactory:
+    """The three-NF chain: Firewall (20 rules) → NAT → Maglev LB (§6.1)."""
+
+    def build() -> NfChain:
+        return NfChain(
+            [
+                Firewall.with_rule_count(rule_count),
+                Nat(),
+                MaglevLoadBalancer.with_backend_count(backend_count),
+            ],
+            name="FW -> NAT -> LB",
+        )
+
+    return build
+
+
+def mac_swapper() -> ChainFactory:
+    """A lone MAC swapper (functional equivalence, multi-server setup)."""
+
+    def build() -> NfChain:
+        return NfChain([MacSwapper()], name="MACSwap")
+
+    return build
+
+
+def synthetic(cycles: int, label: str) -> ChainFactory:
+    """A synthetic NF with a fixed per-packet cycle budget (§6.3.3)."""
+
+    def build() -> NfChain:
+        return NfChain([SyntheticNf(cycles, name=label)], name=label)
+
+    return build

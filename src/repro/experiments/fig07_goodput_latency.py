@@ -1,0 +1,75 @@
+"""Fig. 7 (and the §6.2.1 40 GbE result): goodput and latency vs. send rate.
+
+The FW → NAT → LB chain runs on NetBricks behind a 10 GbE NIC while the
+traffic generator sweeps its offered rate; PayloadPark keeps goodput
+climbing past the point where the baseline's switch → NF-server link
+saturates, without a latency penalty.  The paper reports a 13 % goodput
+gain for this chain at the baseline's saturation point and a 15.6 % gain
+(plus 12 % PCIe savings) for FW → NAT on the 40 GbE NIC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import fw_nat_40ge_enterprise, fw_nat_lb_10ge
+from repro.telemetry.report import render_table
+
+#: Send rates swept in Fig. 7 (Gbps); the baseline link capacity is 10 Gbps.
+DEFAULT_RATES_GBPS = (2.0, 4.0, 6.0, 8.0, 9.5, 10.5, 12.0)
+
+
+def run(rates_gbps: Sequence[float] = DEFAULT_RATES_GBPS,
+        runner: Optional[ExperimentRunner] = None) -> List[Dict[str, object]]:
+    """Sweep send rates for the Fig. 7 scenario; one row per rate."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for rate in rates_gbps:
+        result = runner.compare(fw_nat_lb_10ge(send_rate_gbps=rate))
+        comparison = result.comparison
+        rows.append(
+            {
+                "send_rate_gbps": rate,
+                "baseline_goodput_gbps": round(comparison.baseline.goodput_to_nf_gbps, 4),
+                "payloadpark_goodput_gbps": round(
+                    comparison.payloadpark.goodput_to_nf_gbps, 4
+                ),
+                "goodput_gain_percent": round(comparison.goodput_gain_percent, 2),
+                "baseline_latency_us": round(comparison.baseline.avg_latency_us, 2),
+                "payloadpark_latency_us": round(comparison.payloadpark.avg_latency_us, 2),
+                "baseline_healthy": comparison.baseline.healthy,
+                "payloadpark_healthy": comparison.payloadpark.healthy,
+            }
+        )
+    return rows
+
+
+def run_40ge_fw_nat(send_rate_gbps: float = 30.0,
+                    runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """The §6.2.1 text result: FW → NAT on the 40 GbE NIC with OpenNetVM."""
+    runner = runner or ExperimentRunner()
+    result = runner.compare(fw_nat_40ge_enterprise(send_rate_gbps=send_rate_gbps))
+    comparison = result.comparison
+    return {
+        "send_rate_gbps": send_rate_gbps,
+        "goodput_gain_percent": round(comparison.goodput_gain_percent, 2),
+        "pcie_savings_percent": round(comparison.pcie_savings_percent, 2),
+        "latency_delta_us": round(comparison.latency_delta_us, 2),
+        "paper_goodput_gain_percent": 15.6,
+        "paper_pcie_savings_percent": 12.0,
+    }
+
+
+def main() -> None:
+    """Print the Fig. 7 reproduction."""
+    print("Fig. 7 — FW -> NAT -> LB on NetBricks, 10 GbE NIC")
+    print(render_table(run()))
+    print()
+    print("§6.2.1 — FW -> NAT on OpenNetVM, 40 GbE NIC")
+    row = run_40ge_fw_nat()
+    print(render_table([row]))
+
+
+if __name__ == "__main__":
+    main()

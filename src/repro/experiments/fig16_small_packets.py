@@ -1,0 +1,53 @@
+"""Fig. 16: goodput and latency with 512-byte packets (FW → NAT, 40 GbE).
+
+With small fixed-size packets the baseline is capped by how many bytes
+the NIC/PCIe path can move (≈ 34 Gb/s of 512-byte frames), while
+PayloadPark keeps processing packets at higher send rates because each
+frame crossing the NIC is 153 bytes lighter.  Before the baseline
+saturates, PayloadPark's latency is lower; past saturation both curves'
+latencies climb because the NF server itself is the next bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import small_packet_40ge
+from repro.telemetry.report import render_table
+
+#: Send rates swept in Fig. 16 (Gbps); the baseline link capacity is 40 Gbps.
+DEFAULT_RATES_GBPS = (10.0, 20.0, 28.0, 33.0, 36.0, 40.0, 44.0)
+
+
+def run(rates_gbps: Sequence[float] = DEFAULT_RATES_GBPS,
+        runner: Optional[ExperimentRunner] = None) -> List[Dict[str, object]]:
+    """One row per send rate: goodput and latency under both deployments."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for rate in rates_gbps:
+        comparison = runner.compare(small_packet_40ge(send_rate_gbps=rate)).comparison
+        rows.append(
+            {
+                "send_rate_gbps": rate,
+                "baseline_goodput_gbps": round(comparison.baseline.goodput_to_nf_gbps, 4),
+                "payloadpark_goodput_gbps": round(
+                    comparison.payloadpark.goodput_to_nf_gbps, 4
+                ),
+                "baseline_latency_us": round(comparison.baseline.avg_latency_us, 2),
+                "payloadpark_latency_us": round(comparison.payloadpark.avg_latency_us, 2),
+                "baseline_healthy": comparison.baseline.healthy,
+                "payloadpark_healthy": comparison.payloadpark.healthy,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    """Print the Fig. 16 reproduction."""
+    print("Fig. 16 — 512-byte packets, FW -> NAT, 40 GbE NIC")
+    print(render_table(run()))
+
+
+if __name__ == "__main__":
+    main()

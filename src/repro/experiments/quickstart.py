@@ -1,0 +1,38 @@
+"""The quickstart experiment exposed as :func:`repro.quickstart`.
+
+A small FW → NAT comparison behind a 10 GbE NIC with the enterprise
+packet mix — enough to see PayloadPark's goodput gain and PCIe savings
+in a few seconds of wall-clock time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import chains
+from repro.experiments.runner import ExperimentRunner, ScenarioConfig
+from repro.experiments.scenarios import MACRO_PP_CONFIG
+from repro.netsim.nic import NIC_10GE
+from repro.nf.framework import OPENNETVM
+from repro.telemetry.report import ComparisonReport
+from repro.traffic.workload import Workload
+
+
+def quickstart_scenario(send_rate_gbps: float = 9.5) -> ScenarioConfig:
+    """A small but representative operating point."""
+    return ScenarioConfig(
+        name="quickstart-fw-nat-10ge",
+        chain_factory=chains.fw_nat(rule_count=1),
+        framework=OPENNETVM,
+        nic=NIC_10GE,
+        workload=Workload.enterprise(),
+        send_rate_gbps=send_rate_gbps,
+        payloadpark=MACRO_PP_CONFIG,
+        duration_us=4_000.0,
+        warmup_us=1_000.0,
+    )
+
+
+def run_quickstart(send_rate_gbps: float = 9.5) -> ComparisonReport:
+    """Run the quickstart comparison and return the report."""
+    runner = ExperimentRunner()
+    result = runner.compare(quickstart_scenario(send_rate_gbps))
+    return result.comparison

@@ -1,0 +1,461 @@
+"""The experiment runner: build a testbed, run it, report metrics.
+
+A :class:`ScenarioConfig` describes one operating point (chain, NF
+framework, NIC, workload, offered rate, PayloadPark parameters and
+simulation horizon).  :class:`ExperimentRunner` materializes it twice —
+once with the PayloadPark program, once with the baseline L2-forwarding
+program — and produces :class:`~repro.telemetry.report.DeploymentReport`
+and :class:`~repro.telemetry.report.ComparisonReport` objects, plus a
+peak-goodput search used by the §6.3.1 memory sweep.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.config import NfServerBinding, PayloadParkConfig
+from repro.core.program import BaselineProgram, PayloadParkProgram, SwitchProgram
+from repro.experiments.chains import ChainFactory, fw_nat
+from repro.netsim.eventloop import EventLoop
+from repro.netsim.nic import NicSpec, NIC_10GE
+from repro.netsim.topology import MultiServerTopology, SingleServerTopology
+from repro.nf.framework import OPENNETVM, NfFramework
+from repro.nf.server import NfServerConfig, NfServerModel
+from repro.telemetry.latency import LatencyRecorder
+from repro.telemetry.report import ComparisonReport, DeploymentReport
+from repro.traffic.pktgen import PktGenConfig
+from repro.traffic.workload import Workload
+
+
+class DeploymentKind(enum.Enum):
+    """Which switch program a run uses."""
+
+    BASELINE = "baseline"
+    PAYLOADPARK = "payloadpark"
+
+
+def default_binding(name: str = "srv0", pipe: int = 0) -> NfServerBinding:
+    """The Fig. 5 port layout on one pipe: two traffic ports, one NF port."""
+    base = pipe * 16
+    return NfServerBinding(
+        name=name,
+        ingress_ports=(base, base + 1),
+        nf_port=base + 2,
+        default_egress_port=base,
+    )
+
+
+def multi_server_bindings(server_count: int, servers_per_pipe: int = 2) -> List[NfServerBinding]:
+    """Port layout for the §6.2.3 multi-server setup (two servers per pipe)."""
+    if server_count <= 0:
+        raise ValueError("server_count must be positive")
+    bindings = []
+    for index in range(server_count):
+        pipe = index // servers_per_pipe
+        slot = index % servers_per_pipe
+        base = pipe * 16 + slot * 4
+        bindings.append(
+            NfServerBinding(
+                name=f"srv{index}",
+                ingress_ports=(base, base + 1),
+                nf_port=base + 2,
+                default_egress_port=base,
+            )
+        )
+    return bindings
+
+
+@dataclass
+class ScenarioConfig:
+    """One experiment operating point."""
+
+    name: str
+    chain_factory: ChainFactory = field(default_factory=fw_nat)
+    framework: NfFramework = OPENNETVM
+    nic: NicSpec = NIC_10GE
+    workload: Workload = field(default_factory=Workload.enterprise)
+    send_rate_gbps: float = 8.0
+    payloadpark: PayloadParkConfig = field(default_factory=PayloadParkConfig)
+    duration_us: float = 6_000.0
+    warmup_us: float = 1_500.0
+    server_count: int = 1
+    explicit_drop: bool = False
+    service_jitter: float = 0.3
+    cpu_ghz: float = 2.3
+    gen_link_gbps: float = 100.0
+    seed: int = 42
+    switch_latency_ns: int = 800
+
+    def with_rate(self, rate_gbps: float) -> "ScenarioConfig":
+        """A copy of this scenario at a different offered rate."""
+        return replace(self, send_rate_gbps=rate_gbps)
+
+    def with_payloadpark(self, config: PayloadParkConfig) -> "ScenarioConfig":
+        """A copy of this scenario with different PayloadPark parameters."""
+        return replace(self, payloadpark=config)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a benchmark needs from one scenario execution."""
+
+    scenario: ScenarioConfig
+    comparison: ComparisonReport
+    per_server: List[ComparisonReport] = field(default_factory=list)
+
+    @property
+    def goodput_gain_percent(self) -> float:
+        """Headline goodput gain of the scenario."""
+        return self.comparison.goodput_gain_percent
+
+
+class ExperimentRunner:
+    """Builds and runs simulated testbeds for scenarios.
+
+    Parameters
+    ----------
+    verbose:
+        Reserved for future diagnostic output.
+    time_scale:
+        Multiplier applied to every scenario's simulated duration and
+        warm-up.  The benchmark harness uses values below 1.0 to keep the
+        full figure sweeps fast; results converge for scales ≥ 0.5 at the
+        packet rates used in the paper.
+    """
+
+    def __init__(self, verbose: bool = False, time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.verbose = verbose
+        self.time_scale = time_scale
+
+    # ------------------------------------------------------------------ #
+    # Single-server runs
+    # ------------------------------------------------------------------ #
+
+    def run_deployment(
+        self, scenario: ScenarioConfig, deployment: DeploymentKind
+    ) -> DeploymentReport:
+        """Run one deployment of a single-server scenario and report metrics."""
+        if scenario.server_count != 1:
+            reports = self.run_multi_server(scenario, deployment)
+            return _aggregate_reports(reports, scenario, deployment)
+
+        env = EventLoop()
+        binding = default_binding()
+        program = self._build_program(scenario, deployment, [binding])
+        model = self._build_server_model(scenario)
+        pktgen_config = PktGenConfig(
+            rate_gbps=scenario.send_rate_gbps,
+            workload=scenario.workload,
+            seed=scenario.seed,
+        )
+        topology = SingleServerTopology(
+            env,
+            program,
+            server_model=model,
+            pktgen_config=pktgen_config,
+            nic_spec=scenario.nic,
+            gen_link_gbps=scenario.gen_link_gbps,
+        )
+        return self._execute(scenario, deployment, topology, program)[0]
+
+    def compare(self, scenario: ScenarioConfig) -> ExperimentResult:
+        """Run baseline and PayloadPark at the same operating point."""
+        baseline = self.run_deployment(scenario, DeploymentKind.BASELINE)
+        payloadpark = self.run_deployment(scenario, DeploymentKind.PAYLOADPARK)
+        return ExperimentResult(
+            scenario=scenario,
+            comparison=ComparisonReport(baseline=baseline, payloadpark=payloadpark),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Multi-server runs
+    # ------------------------------------------------------------------ #
+
+    def run_multi_server(
+        self, scenario: ScenarioConfig, deployment: DeploymentKind
+    ) -> List[DeploymentReport]:
+        """Run a multi-server scenario; return one report per NF server."""
+        env = EventLoop()
+        bindings = multi_server_bindings(scenario.server_count)
+        program = self._build_program(scenario, deployment, bindings)
+        models = [self._build_server_model(scenario) for _ in bindings]
+        pktgen_configs = [
+            PktGenConfig(
+                rate_gbps=scenario.send_rate_gbps,
+                workload=scenario.workload,
+                seed=scenario.seed + index,
+            )
+            for index in range(len(bindings))
+        ]
+        topology = MultiServerTopology(
+            env,
+            program,
+            server_models=models,
+            pktgen_configs=pktgen_configs,
+            nic_spec=scenario.nic,
+            gen_link_gbps=scenario.gen_link_gbps,
+        )
+        return self._execute(scenario, deployment, topology, program)
+
+    def compare_multi_server(self, scenario: ScenarioConfig) -> ExperimentResult:
+        """Baseline vs. PayloadPark, per server, for the §6.2.3 setup."""
+        baseline_reports = self.run_multi_server(scenario, DeploymentKind.BASELINE)
+        payloadpark_reports = self.run_multi_server(scenario, DeploymentKind.PAYLOADPARK)
+        per_server = [
+            ComparisonReport(baseline=base, payloadpark=park)
+            for base, park in zip(baseline_reports, payloadpark_reports)
+        ]
+        aggregate = ComparisonReport(
+            baseline=_aggregate_reports(baseline_reports, scenario, DeploymentKind.BASELINE),
+            payloadpark=_aggregate_reports(
+                payloadpark_reports, scenario, DeploymentKind.PAYLOADPARK
+            ),
+        )
+        return ExperimentResult(scenario=scenario, comparison=aggregate, per_server=per_server)
+
+    # ------------------------------------------------------------------ #
+    # Peak-goodput search (Fig. 14)
+    # ------------------------------------------------------------------ #
+
+    def peak_goodput(
+        self,
+        scenario: ScenarioConfig,
+        deployment: DeploymentKind = DeploymentKind.PAYLOADPARK,
+        require_zero_premature_evictions: bool = True,
+        rate_bounds_gbps: Tuple[float, float] = (1.0, 60.0),
+        tolerance_gbps: float = 1.0,
+        constraint: Optional[Callable[[DeploymentReport], bool]] = None,
+    ) -> Tuple[float, DeploymentReport]:
+        """Binary-search the highest offered rate that keeps the system healthy.
+
+        The §6.3.1 definition: the system must keep its drop rate under
+        0.1 % and (for PayloadPark) record zero premature payload
+        evictions.  Returns the peak send rate and the report at it.
+        """
+
+        def is_acceptable(report: DeploymentReport) -> bool:
+            if constraint is not None and not constraint(report):
+                return False
+            if not report.healthy:
+                return False
+            if (
+                require_zero_premature_evictions
+                and deployment is DeploymentKind.PAYLOADPARK
+                and report.premature_evictions > 0
+            ):
+                return False
+            return True
+
+        low, high = rate_bounds_gbps
+        best_rate = low
+        best_report = self.run_deployment(scenario.with_rate(low), deployment)
+        if not is_acceptable(best_report):
+            return low, best_report
+        while high - low > tolerance_gbps:
+            middle = (low + high) / 2.0
+            report = self.run_deployment(scenario.with_rate(middle), deployment)
+            if is_acceptable(report):
+                low = middle
+                best_rate, best_report = middle, report
+            else:
+                high = middle
+        return best_rate, best_report
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _build_program(
+        self,
+        scenario: ScenarioConfig,
+        deployment: DeploymentKind,
+        bindings: List[NfServerBinding],
+    ) -> SwitchProgram:
+        if deployment is DeploymentKind.BASELINE:
+            return BaselineProgram(bindings)
+        pp_config = replace(scenario.payloadpark, bindings=[])
+        return PayloadParkProgram(pp_config, bindings=bindings)
+
+    def _build_server_model(self, scenario: ScenarioConfig) -> NfServerModel:
+        framework = scenario.framework
+        if scenario.explicit_drop:
+            framework = framework.with_explicit_drop()
+        config = NfServerConfig(
+            cpu_ghz=scenario.cpu_ghz,
+            framework=framework,
+            rx_ring_entries=scenario.nic.rx_ring_entries,
+            explicit_drop=scenario.explicit_drop,
+            service_jitter=scenario.service_jitter,
+        )
+        return NfServerModel(chain=scenario.chain_factory(), config=config)
+
+    def _execute(
+        self,
+        scenario: ScenarioConfig,
+        deployment: DeploymentKind,
+        topology,
+        program: SwitchProgram,
+    ) -> List[DeploymentReport]:
+        duration_ns = int(scenario.duration_us * 1_000 * self.time_scale)
+        warmup_ns = int(scenario.warmup_us * 1_000 * self.time_scale)
+        if warmup_ns >= duration_ns:
+            raise ValueError("warmup must be shorter than the total duration")
+
+        topology.start_traffic(duration_ns)
+        topology.run_until(warmup_ns)
+        warm_snapshot = topology.snapshot()
+        warm_counters = self._pp_counter_snapshot(program)
+        warm_latency_counts = {
+            attachment.binding.name: attachment.pktgen.latency.count
+            for attachment in topology.attachments
+        }
+        topology.run_until(duration_ns)
+        end_snapshot = topology.snapshot()
+        end_counters = self._pp_counter_snapshot(program)
+
+        window_ns = duration_ns - warmup_ns
+        reports = []
+        for attachment in topology.attachments:
+            name = attachment.binding.name
+            reports.append(
+                self._report_for_attachment(
+                    scenario,
+                    deployment,
+                    attachment,
+                    window_ns,
+                    warm_snapshot,
+                    end_snapshot,
+                    warm_counters.get(name, {}),
+                    end_counters.get(name, {}),
+                    warm_latency_counts[name],
+                )
+            )
+        return reports
+
+    @staticmethod
+    def _pp_counter_snapshot(program: SwitchProgram):
+        if not isinstance(program, PayloadParkProgram):
+            return {}
+        return {
+            name: counters.as_dict()
+            for name, counters in program.counters.counters.items()
+        }
+
+    def _report_for_attachment(
+        self,
+        scenario: ScenarioConfig,
+        deployment: DeploymentKind,
+        attachment,
+        window_ns: int,
+        warm_snapshot,
+        end_snapshot,
+        warm_pp_counters,
+        end_pp_counters,
+        warm_latency_count: int,
+    ) -> DeploymentReport:
+        name = attachment.binding.name
+        gen_delta = _delta(end_snapshot[f"pktgen.{name}"], warm_snapshot[f"pktgen.{name}"])
+        server_delta = _delta(end_snapshot[f"server.{name}"], warm_snapshot[f"server.{name}"])
+        link_delta = _delta(end_snapshot[f"links.{name}"], warm_snapshot[f"links.{name}"])
+        pp_delta = _delta(end_pp_counters, warm_pp_counters)
+
+        latency: LatencyRecorder = attachment.pktgen.latency.since(warm_latency_count)
+        sent = int(gen_delta.get("packets_sent", 0))
+        received = int(gen_delta.get("packets_received", 0))
+        chain_dropped = int(server_delta.get("chain_dropped_packets", 0))
+        # Unintentional drops observed inside the measurement window: link
+        # egress-buffer overflows, NIC/server overflows, and PayloadPark
+        # packets lost to premature evictions or corrupted tags.  Packets the
+        # NF chain deliberately dropped (firewall policy) do not count
+        # against the health criterion.
+        dropped = int(
+            link_delta.get("dropped_frames", 0)
+            + server_delta.get("overflow_drops", 0)
+            + pp_delta.get("premature_evictions", 0)
+            + pp_delta.get("tag_validation_failures", 0)
+        )
+
+        # Goodput from the switch's perspective: useful header bytes examined
+        # by the NF server per second (§6.1 measures the data the NFs see).
+        processed = server_delta.get("processed_packets", 0)
+        useful_bytes_to_nf = processed * 42.0
+        goodput_to_nf = useful_bytes_to_nf * 8.0 / window_ns
+        delivered_goodput = gen_delta.get("useful_bytes_received", 0) * 8.0 / window_ns
+        offered = gen_delta.get("bytes_sent", 0) * 8.0 / window_ns
+        pcie_bytes = server_delta.get("pcie_rx_bytes", 0) + server_delta.get("pcie_tx_bytes", 0)
+
+        report = DeploymentReport(
+            deployment=deployment.value,
+            send_rate_gbps=scenario.send_rate_gbps,
+            duration_ns=window_ns,
+            packets_sent=sent,
+            packets_delivered=received,
+            packets_dropped=dropped,
+            goodput_to_nf_gbps=goodput_to_nf,
+            delivered_goodput_gbps=delivered_goodput,
+            offered_gbps=offered,
+            avg_latency_us=latency.mean_us(),
+            p99_latency_us=latency.percentile_us(99),
+            max_latency_us=latency.max_us(),
+            jitter_us=latency.jitter_us(),
+            pcie_gbps=pcie_bytes * 8.0 / window_ns,
+            nf_packets_processed=int(server_delta.get("processed_packets", 0)),
+            premature_evictions=int(pp_delta.get("premature_evictions", 0)),
+            evictions=int(pp_delta.get("evictions", 0)),
+            splits=int(pp_delta.get("splits", 0)),
+            merges=int(pp_delta.get("merges", 0)),
+            explicit_drops=int(pp_delta.get("explicit_drops", 0)),
+            split_disabled=int(
+                pp_delta.get("split_disabled_small_payload", 0)
+                + pp_delta.get("split_disabled_table_occupied", 0)
+            ),
+            drop_breakdown={
+                "server_overflow": int(server_delta.get("overflow_drops", 0)),
+                "chain_dropped": chain_dropped,
+                "link_drops": sum(link.total_drops() for link in attachment.gen_links)
+                + attachment.server_link.total_drops(),
+            },
+        )
+        return report
+
+
+def _delta(end: dict, start: dict) -> dict:
+    """Element-wise ``end - start`` for counter snapshots."""
+    return {key: end.get(key, 0) - start.get(key, 0) for key in end}
+
+
+def _aggregate_reports(
+    reports: List[DeploymentReport], scenario: ScenarioConfig, deployment: DeploymentKind
+) -> DeploymentReport:
+    """Sum/average per-server reports into one chip-level report."""
+    if not reports:
+        raise ValueError("cannot aggregate an empty report list")
+    total = DeploymentReport(
+        deployment=deployment.value,
+        send_rate_gbps=scenario.send_rate_gbps,
+        duration_ns=reports[0].duration_ns,
+    )
+    for report in reports:
+        total.packets_sent += report.packets_sent
+        total.packets_delivered += report.packets_delivered
+        total.packets_dropped += report.packets_dropped
+        total.goodput_to_nf_gbps += report.goodput_to_nf_gbps
+        total.delivered_goodput_gbps += report.delivered_goodput_gbps
+        total.offered_gbps += report.offered_gbps
+        total.pcie_gbps += report.pcie_gbps
+        total.nf_packets_processed += report.nf_packets_processed
+        total.premature_evictions += report.premature_evictions
+        total.evictions += report.evictions
+        total.splits += report.splits
+        total.merges += report.merges
+        total.explicit_drops += report.explicit_drops
+        total.split_disabled += report.split_disabled
+    total.avg_latency_us = sum(r.avg_latency_us for r in reports) / len(reports)
+    total.p99_latency_us = max(r.p99_latency_us for r in reports)
+    total.max_latency_us = max(r.max_latency_us for r in reports)
+    total.jitter_us = max(r.jitter_us for r in reports)
+    return total

@@ -1,0 +1,184 @@
+"""Preset scenarios matching the paper's evaluation setups (§6.1).
+
+Each helper returns a :class:`~repro.experiments.runner.ScenarioConfig`
+pre-filled with the chain, framework, NIC and workload the corresponding
+experiment used; the caller only varies the swept parameter (offered
+rate, packet size, expiry threshold, reserved memory, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import PayloadParkConfig
+from repro.experiments import chains
+from repro.experiments.runner import ScenarioConfig
+from repro.netsim.nic import NIC_10GE, NIC_40GE
+from repro.nf.framework import NETBRICKS, OPENNETVM
+from repro.nf.synthetic import NF_HEAVY_CYCLES, NF_LIGHT_CYCLES, NF_MEDIUM_CYCLES
+from repro.traffic.workload import Workload
+
+#: Macro-benchmark defaults (§6.1): ≈26 % of switch memory, expiry threshold 1.
+MACRO_PP_CONFIG = PayloadParkConfig(sram_fraction=0.26, expiry_threshold=1)
+
+
+def fw_nat_lb_10ge(send_rate_gbps: float = 8.0) -> ScenarioConfig:
+    """Fig. 7 / Fig. 13 setup: FW → NAT → LB on NetBricks behind a 10 GbE NIC."""
+    return ScenarioConfig(
+        name="fw-nat-lb-10ge-netbricks",
+        chain_factory=chains.fw_nat_lb(rule_count=20),
+        framework=NETBRICKS,
+        nic=NIC_10GE,
+        workload=Workload.enterprise(),
+        send_rate_gbps=send_rate_gbps,
+        payloadpark=MACRO_PP_CONFIG,
+    )
+
+
+def fw_nat_lb_10ge_recirculation(send_rate_gbps: float = 8.0) -> ScenarioConfig:
+    """Fig. 13: the same chain with recirculation parking 384 bytes."""
+    scenario = fw_nat_lb_10ge(send_rate_gbps)
+    return replace(
+        scenario,
+        name="fw-nat-lb-10ge-recirculation",
+        payloadpark=PayloadParkConfig.with_recirculation(
+            sram_fraction=MACRO_PP_CONFIG.sram_fraction,
+            expiry_threshold=MACRO_PP_CONFIG.expiry_threshold,
+        ),
+    )
+
+
+def fw_nat_40ge_enterprise(send_rate_gbps: float = 30.0) -> ScenarioConfig:
+    """§6.2.1's 40 GbE run: FW → NAT on OpenNetVM with the enterprise mix."""
+    return ScenarioConfig(
+        name="fw-nat-40ge-opennetvm",
+        chain_factory=chains.fw_nat(rule_count=1),
+        framework=OPENNETVM,
+        nic=NIC_40GE,
+        workload=Workload.enterprise(),
+        send_rate_gbps=send_rate_gbps,
+        payloadpark=MACRO_PP_CONFIG,
+    )
+
+
+def fixed_size_40ge(chain_name: str, packet_size: int,
+                    send_rate_gbps: float = 38.0) -> ScenarioConfig:
+    """Fig. 8 / Fig. 9 setup: fixed packet sizes on the 40 GbE NIC (OpenNetVM).
+
+    ``chain_name`` is one of ``firewall``, ``nat`` or ``fw_nat``.
+    """
+    factories = {
+        "firewall": chains.firewall_only(rule_count=1),
+        "nat": chains.nat_only(),
+        "fw_nat": chains.fw_nat(rule_count=1),
+    }
+    if chain_name not in factories:
+        raise ValueError(f"unknown chain {chain_name!r}; expected one of {sorted(factories)}")
+    return ScenarioConfig(
+        name=f"{chain_name}-{packet_size}B-40ge",
+        chain_factory=factories[chain_name],
+        framework=OPENNETVM,
+        nic=NIC_40GE,
+        workload=Workload.fixed_size(packet_size),
+        send_rate_gbps=send_rate_gbps,
+        payloadpark=MACRO_PP_CONFIG,
+    )
+
+
+def multi_server_384b(server_count: int = 8, send_rate_gbps: float = 9.0) -> ScenarioConfig:
+    """Fig. 10 / Fig. 11 setup: MAC-swapping servers, 384-byte packets, sliced memory."""
+    return ScenarioConfig(
+        name=f"multi-server-{server_count}x-384B",
+        chain_factory=chains.mac_swapper(),
+        framework=OPENNETVM,
+        nic=NIC_10GE,
+        workload=Workload.fixed_size(384),
+        send_rate_gbps=send_rate_gbps,
+        payloadpark=PayloadParkConfig(sram_fraction=0.40, expiry_threshold=1),
+        server_count=server_count,
+        cpu_ghz=2.4,
+    )
+
+
+def explicit_drop_scenario(
+    expiry_threshold: int,
+    explicit_drop: bool,
+    blacklisted_fraction: float = 0.05,
+    send_rate_gbps: float = 8.0,
+) -> ScenarioConfig:
+    """Fig. 12 setup: FW → NAT with firewall drops and eviction-policy knobs."""
+    suffix = "explicit" if explicit_drop else "no-explicit"
+    return ScenarioConfig(
+        name=f"fw-nat-exp{expiry_threshold}-{suffix}",
+        chain_factory=chains.fw_nat(rule_count=1),
+        framework=OPENNETVM,
+        nic=NIC_10GE,
+        workload=Workload.enterprise(blacklisted_fraction=blacklisted_fraction),
+        send_rate_gbps=send_rate_gbps,
+        payloadpark=PayloadParkConfig(
+            sram_fraction=0.26, expiry_threshold=expiry_threshold
+        ),
+        explicit_drop=explicit_drop,
+    )
+
+
+def memory_sweep_scenario(sram_fraction: float, send_rate_gbps: float = 20.0) -> ScenarioConfig:
+    """Fig. 14 setup: 384-byte packets, FW → NAT, EXP=1, varying reserved memory."""
+    return ScenarioConfig(
+        name=f"memory-{sram_fraction:.2f}",
+        chain_factory=chains.fw_nat(rule_count=1),
+        framework=OPENNETVM,
+        nic=NIC_40GE,
+        workload=Workload.fixed_size(384),
+        send_rate_gbps=send_rate_gbps,
+        payloadpark=PayloadParkConfig(sram_fraction=sram_fraction, expiry_threshold=1),
+    )
+
+
+def nf_cycles_scenario(nf_kind: str, packet_size: int,
+                       send_rate_gbps: float = 30.0) -> ScenarioConfig:
+    """Fig. 15 setup: synthetic NF-Light/Medium/Heavy at various packet sizes."""
+    cycle_map = {
+        "light": (NF_LIGHT_CYCLES, "NF-Light"),
+        "medium": (NF_MEDIUM_CYCLES, "NF-Medium"),
+        "heavy": (NF_HEAVY_CYCLES, "NF-Heavy"),
+    }
+    if nf_kind not in cycle_map:
+        raise ValueError(f"unknown NF kind {nf_kind!r}; expected one of {sorted(cycle_map)}")
+    cycles, label = cycle_map[nf_kind]
+    return ScenarioConfig(
+        name=f"{label}-{packet_size}B",
+        chain_factory=chains.synthetic(cycles, label),
+        framework=OPENNETVM,
+        nic=NIC_40GE,
+        workload=Workload.fixed_size(packet_size),
+        send_rate_gbps=send_rate_gbps,
+        payloadpark=MACRO_PP_CONFIG,
+    )
+
+
+def small_packet_40ge(send_rate_gbps: float = 30.0) -> ScenarioConfig:
+    """Fig. 16 setup: 512-byte packets, FW → NAT, OpenNetVM, 40 GbE NIC."""
+    return ScenarioConfig(
+        name="fw-nat-512B-40ge",
+        chain_factory=chains.fw_nat(rule_count=1),
+        framework=OPENNETVM,
+        nic=NIC_40GE,
+        workload=Workload.fixed_size(512),
+        send_rate_gbps=send_rate_gbps,
+        payloadpark=MACRO_PP_CONFIG,
+    )
+
+
+def functional_equivalence_scenario(send_rate_gbps: float = 4.0) -> ScenarioConfig:
+    """§6.2.6 setup: a MAC-swapping NF fed with the enterprise mix."""
+    return ScenarioConfig(
+        name="functional-equivalence-macswap",
+        chain_factory=chains.mac_swapper(),
+        framework=OPENNETVM,
+        nic=NIC_10GE,
+        workload=Workload.enterprise(),
+        send_rate_gbps=send_rate_gbps,
+        payloadpark=MACRO_PP_CONFIG,
+        service_jitter=0.0,
+    )

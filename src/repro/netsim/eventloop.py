@@ -1,0 +1,82 @@
+"""A minimal discrete-event simulation loop.
+
+Time is an integer number of nanoseconds.  Events are callbacks ordered
+by (time, sequence number); ties preserve scheduling order so the
+simulation is fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+Callback = Callable[[], None]
+
+
+class EventLoop:
+    """Priority-queue based discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[int, int, Callback]] = []
+        self._sequence = itertools.count()
+        self.now: int = 0
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def schedule_at(self, when_ns: int, callback: Callback) -> None:
+        """Schedule *callback* to run at absolute time *when_ns*."""
+        if when_ns < self.now:
+            raise ValueError(
+                f"cannot schedule an event in the past ({when_ns} < now={self.now})"
+            )
+        heapq.heappush(self._queue, (when_ns, next(self._sequence), callback))
+
+    def schedule_in(self, delay_ns: int, callback: Callback) -> None:
+        """Schedule *callback* to run *delay_ns* nanoseconds from now."""
+        if delay_ns < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_ns}")
+        self.schedule_at(self.now + delay_ns, callback)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run_until(self, horizon_ns: int) -> None:
+        """Execute events in order until the queue is empty or time exceeds *horizon_ns*."""
+        while self._queue:
+            when_ns, _seq, callback = self._queue[0]
+            if when_ns > horizon_ns:
+                break
+            heapq.heappop(self._queue)
+            self.now = when_ns
+            callback()
+            self.events_executed += 1
+        # Leave ``now`` at the horizon so rate calculations use the full window.
+        if self.now < horizon_ns:
+            self.now = horizon_ns
+
+    def run_all(self, max_events: Optional[int] = None) -> None:
+        """Drain the queue completely (or up to *max_events* events)."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            when_ns, _seq, callback = heapq.heappop(self._queue)
+            self.now = when_ns
+            callback()
+            self.events_executed += 1
+            executed += 1
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulation time in seconds."""
+        return self.now / 1e9

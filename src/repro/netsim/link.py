@@ -1,0 +1,160 @@
+"""Full-duplex point-to-point links with finite egress buffers.
+
+A link direction models three things: serialization delay (frame bytes
+over the link rate), propagation delay, and an egress buffer of finite
+byte capacity.  When the buffer is full the frame is dropped — this is
+where the baseline deployment loses packets once the switch → NF-server
+link saturates (§6.2.1), and it is the buffer whose occupancy produces
+the latency cliff visible in Fig. 7 and Fig. 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.netsim.eventloop import EventLoop
+from repro.netsim.node import Node
+from repro.packet.packet import Packet
+
+
+@dataclass
+class LinkDirectionStats:
+    """Counters for one direction of a link."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_dropped: int = 0
+    bytes_sent: int = 0
+    bytes_dropped: int = 0
+    busy_ns: int = 0
+    peak_queue_bytes: int = 0
+
+
+class _LinkDirection:
+    """One direction of a full-duplex link."""
+
+    def __init__(
+        self,
+        env: EventLoop,
+        name: str,
+        bandwidth_gbps: float,
+        propagation_delay_ns: int,
+        buffer_bytes: int,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.bandwidth_gbps = bandwidth_gbps
+        self.propagation_delay_ns = propagation_delay_ns
+        self.buffer_bytes = buffer_bytes
+        self.next_free_ns = 0
+        self.queued_bytes = 0
+        self.stats = LinkDirectionStats()
+
+    def serialization_ns(self, nbytes: int) -> int:
+        """Time to clock *nbytes* onto the wire at the link rate."""
+        return int(round(nbytes * 8 / self.bandwidth_gbps))
+
+    def transmit(self, packet: Packet, deliver) -> None:
+        """Queue *packet* for transmission; call ``deliver(packet)`` on arrival."""
+        now = self.env.now
+        wire_bytes = packet.wire_length
+        if self.queued_bytes + wire_bytes > self.buffer_bytes:
+            self.stats.frames_dropped += 1
+            self.stats.bytes_dropped += wire_bytes
+            return
+        start = max(now, self.next_free_ns)
+        tx_done = start + self.serialization_ns(wire_bytes)
+        self.next_free_ns = tx_done
+        self.queued_bytes += wire_bytes
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += wire_bytes
+        self.stats.busy_ns += tx_done - start
+        self.stats.peak_queue_bytes = max(self.stats.peak_queue_bytes, self.queued_bytes)
+
+        def finish_serialization() -> None:
+            self.queued_bytes -= wire_bytes
+
+        def arrive() -> None:
+            self.stats.frames_delivered += 1
+            deliver(packet)
+
+        self.env.schedule_at(tx_done, finish_serialization)
+        self.env.schedule_at(tx_done + self.propagation_delay_ns, arrive)
+
+    def utilization(self, window_ns: int) -> float:
+        """Fraction of *window_ns* the link spent transmitting."""
+        if window_ns <= 0:
+            return 0.0
+        return min(self.stats.busy_ns / window_ns, 1.0)
+
+
+class Link:
+    """A full-duplex link between two node ports."""
+
+    def __init__(
+        self,
+        env: EventLoop,
+        node_a: Node,
+        port_a: int,
+        node_b: Node,
+        port_b: int,
+        bandwidth_gbps: float = 10.0,
+        propagation_delay_ns: int = 500,
+        buffer_bytes: int = 512 * 1024,
+        name: Optional[str] = None,
+    ) -> None:
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        self.env = env
+        self.name = name or f"{node_a.name}:{port_a}<->{node_b.name}:{port_b}"
+        self.node_a, self.port_a = node_a, port_a
+        self.node_b, self.port_b = node_b, port_b
+        self.bandwidth_gbps = bandwidth_gbps
+        self._a_to_b = _LinkDirection(
+            env, f"{self.name}[a->b]", bandwidth_gbps, propagation_delay_ns, buffer_bytes
+        )
+        self._b_to_a = _LinkDirection(
+            env, f"{self.name}[b->a]", bandwidth_gbps, propagation_delay_ns, buffer_bytes
+        )
+        node_a.attach_link(port_a, self)
+        node_b.attach_link(port_b, self)
+
+    def transmit(self, packet: Packet, sender: Node) -> None:
+        """Send *packet* from *sender* toward the other end of the link."""
+        if sender is self.node_a:
+            direction = self._a_to_b
+            receiver, port = self.node_b, self.port_b
+        elif sender is self.node_b:
+            direction = self._b_to_a
+            receiver, port = self.node_a, self.port_a
+        else:
+            raise ValueError(f"{sender.name} is not attached to link {self.name}")
+        direction.transmit(packet, lambda pkt: receiver.handle_packet(pkt, port))
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def direction_stats(self, sender: Node) -> LinkDirectionStats:
+        """Stats of the direction whose transmitter is *sender*."""
+        if sender is self.node_a:
+            return self._a_to_b.stats
+        if sender is self.node_b:
+            return self._b_to_a.stats
+        raise ValueError(f"{sender.name} is not attached to link {self.name}")
+
+    def total_drops(self) -> int:
+        """Frames dropped in both directions."""
+        return self._a_to_b.stats.frames_dropped + self._b_to_a.stats.frames_dropped
+
+    def stats(self) -> Dict[str, float]:
+        """Combined counters for both directions."""
+        return {
+            "a_to_b_sent": self._a_to_b.stats.frames_sent,
+            "a_to_b_dropped": self._a_to_b.stats.frames_dropped,
+            "a_to_b_bytes": self._a_to_b.stats.bytes_sent,
+            "b_to_a_sent": self._b_to_a.stats.frames_sent,
+            "b_to_a_dropped": self._b_to_a.stats.frames_dropped,
+            "b_to_a_bytes": self._b_to_a.stats.bytes_sent,
+        }

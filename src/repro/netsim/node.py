@@ -1,0 +1,50 @@
+"""Base class for simulation nodes (hosts and switches)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.packet.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.netsim.eventloop import EventLoop
+    from repro.netsim.link import Link
+
+
+class Node:
+    """Anything that terminates links: traffic generators, switches, servers.
+
+    A node owns a set of numbered ports; the topology wires each port to
+    one end of a :class:`~repro.netsim.link.Link`.  Subclasses implement
+    :meth:`handle_packet`, which the link calls when a frame finishes
+    arriving.
+    """
+
+    def __init__(self, env: "EventLoop", name: str) -> None:
+        self.env = env
+        self.name = name
+        self.links: Dict[int, "Link"] = {}
+
+    def attach_link(self, port: int, link: "Link") -> None:
+        """Register *link* as connected to local *port* (called by Link)."""
+        if port in self.links:
+            raise ValueError(f"{self.name}: port {port} already has a link attached")
+        self.links[port] = link
+
+    def send_out(self, port: int, packet: Packet) -> None:
+        """Transmit *packet* out of local *port*."""
+        link = self.links.get(port)
+        if link is None:
+            raise ValueError(f"{self.name}: no link attached to port {port}")
+        link.transmit(packet, self)
+
+    def handle_packet(self, packet: Packet, port: int) -> None:
+        """Receive a frame that arrived on local *port*; must be overridden."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, float]:
+        """Return a snapshot of this node's counters (used for warm-up deltas)."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,76 @@
+"""The switch as a simulation node.
+
+Wraps a :class:`~repro.core.program.SwitchProgram` (PayloadPark or
+baseline): every frame delivered by a link is run through the program's
+pipe, and the resulting egress decision is applied after the switch's
+forwarding latency (plus any recirculation penalty the program reports).
+Egress contention and buffering are modeled by the outgoing link.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.program import SwitchProgram
+from repro.netsim.eventloop import EventLoop
+from repro.netsim.node import Node
+from repro.packet.packet import Packet
+
+
+class SwitchNode(Node):
+    """A Tofino-class switch running a dataplane program."""
+
+    #: Cut-through forwarding latency of a Tofino-class switch pipeline.
+    BASE_LATENCY_NS = 800
+
+    def __init__(
+        self,
+        env: EventLoop,
+        program: SwitchProgram,
+        name: str = "switch",
+        base_latency_ns: int = BASE_LATENCY_NS,
+    ) -> None:
+        super().__init__(env, name)
+        self.program = program
+        self.base_latency_ns = base_latency_ns
+        self.packets_in = 0
+        self.packets_out = 0
+        self.packets_dropped = 0
+        self.useful_bytes_to_nf = 0
+        self.packets_to_nf = 0
+        self.drop_reasons: Dict[str, int] = {}
+        self._nf_ports = {binding.nf_port for binding in program.bindings}
+
+    def handle_packet(self, packet: Packet, port: int) -> None:
+        """Run the frame through the dataplane program and forward it."""
+        self.packets_in += 1
+        ctx = self.program.process(packet, port)
+        if ctx.dropped:
+            self.packets_dropped += 1
+            self.drop_reasons[ctx.drop_reason] = self.drop_reasons.get(ctx.drop_reason, 0) + 1
+            return
+        if ctx.egress_port is None:
+            self.packets_dropped += 1
+            self.drop_reasons["no-egress-decision"] = (
+                self.drop_reasons.get("no-egress-decision", 0) + 1
+            )
+            return
+        egress = ctx.egress_port
+        if egress in self._nf_ports:
+            # Goodput "from the RMT switch's perspective": useful header
+            # bytes handed to the NF server (§6.1).
+            self.useful_bytes_to_nf += packet.useful_bytes
+            self.packets_to_nf += 1
+        latency = self.base_latency_ns + self.program.extra_latency_ns(ctx)
+        self.packets_out += 1
+        self.env.schedule_in(latency, lambda: self.send_out(egress, packet))
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot for warm-up-window deltas."""
+        return {
+            "packets_in": self.packets_in,
+            "packets_out": self.packets_out,
+            "packets_dropped": self.packets_dropped,
+            "packets_to_nf": self.packets_to_nf,
+            "useful_bytes_to_nf": self.useful_bytes_to_nf,
+        }

@@ -1,0 +1,213 @@
+"""Topology builders for the paper's testbed layouts.
+
+Two layouts cover the whole evaluation:
+
+* **Single server** (Fig. 5): one PktGen connected to the switch through
+  two ports (so the generator can overdrive the single server-facing
+  link), and one NF server connected through one port.
+* **Multi server** (§6.2.3): up to eight NF servers, two per pipe, each
+  with its own traffic generator and its own slice of the reserved
+  switch memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import NfServerBinding
+from repro.core.program import SwitchProgram
+from repro.netsim.eventloop import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.nic import NicSpec, NIC_10GE
+from repro.netsim.server_node import NfServerNode
+from repro.netsim.switch_node import SwitchNode
+from repro.netsim.trafficgen_node import TrafficGenNode
+from repro.nf.server import NfServerModel
+from repro.traffic.pktgen import PktGenConfig
+
+#: Default egress-buffer size of a switch port (bytes); the baseline's
+#: latency cliff at link saturation comes from this buffer filling up.
+DEFAULT_PORT_BUFFER_BYTES = 256 * 1024
+
+
+@dataclass
+class ServerAttachment:
+    """Everything attached to one NF-server binding."""
+
+    binding: NfServerBinding
+    pktgen: TrafficGenNode
+    server: NfServerNode
+    gen_links: List[Link]
+    server_link: Link
+
+
+class BaseTopology:
+    """Common wiring logic for single- and multi-server layouts."""
+
+    def __init__(self, env: EventLoop, program: SwitchProgram,
+                 switch_latency_ns: int = SwitchNode.BASE_LATENCY_NS) -> None:
+        self.env = env
+        self.program = program
+        self.switch = SwitchNode(env, program, base_latency_ns=switch_latency_ns)
+        self.attachments: List[ServerAttachment] = []
+
+    def attach_server(
+        self,
+        binding: NfServerBinding,
+        server_model: NfServerModel,
+        pktgen_config: PktGenConfig,
+        nic_spec: NicSpec = NIC_10GE,
+        gen_link_gbps: float = 100.0,
+        server_link_gbps: Optional[float] = None,
+        port_buffer_bytes: int = DEFAULT_PORT_BUFFER_BYTES,
+        seed: int = 1,
+    ) -> ServerAttachment:
+        """Wire one binding: a PktGen on the ingress ports, a server on the NF port."""
+        pktgen = TrafficGenNode(
+            self.env,
+            pktgen_config,
+            tx_ports=list(range(len(binding.ingress_ports))),
+            name=f"pktgen-{binding.name}",
+        )
+        gen_links = []
+        for local_port, switch_port in enumerate(binding.ingress_ports):
+            gen_links.append(
+                Link(
+                    self.env,
+                    pktgen,
+                    local_port,
+                    self.switch,
+                    switch_port,
+                    bandwidth_gbps=gen_link_gbps,
+                    buffer_bytes=port_buffer_bytes,
+                    name=f"{binding.name}-gen{local_port}",
+                )
+            )
+        server = NfServerNode(
+            self.env,
+            server_model,
+            nic_spec=nic_spec,
+            name=f"server-{binding.name}",
+            switch_port=0,
+            seed=seed,
+        )
+        server_link = Link(
+            self.env,
+            server,
+            0,
+            self.switch,
+            binding.nf_port,
+            bandwidth_gbps=server_link_gbps or nic_spec.speed_gbps,
+            buffer_bytes=port_buffer_bytes,
+            name=f"{binding.name}-server",
+        )
+        attachment = ServerAttachment(
+            binding=binding,
+            pktgen=pktgen,
+            server=server,
+            gen_links=gen_links,
+            server_link=server_link,
+        )
+        self.attachments.append(attachment)
+        return attachment
+
+    # ------------------------------------------------------------------ #
+    # Execution helpers
+    # ------------------------------------------------------------------ #
+
+    def start_traffic(self, duration_ns: int) -> None:
+        """Start every traffic generator for *duration_ns*."""
+        for attachment in self.attachments:
+            attachment.pktgen.start(duration_ns)
+
+    def run_until(self, horizon_ns: int) -> None:
+        """Advance the simulation to *horizon_ns*."""
+        self.env.run_until(horizon_ns)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Counter snapshot of every node and link (used for warm-up deltas)."""
+        snap: Dict[str, Dict[str, float]] = {"switch": self.switch.stats()}
+        for attachment in self.attachments:
+            name = attachment.binding.name
+            snap[f"pktgen.{name}"] = attachment.pktgen.stats()
+            snap[f"server.{name}"] = attachment.server.stats()
+            link_drops = attachment.server_link.total_drops()
+            link_drops += sum(link.total_drops() for link in attachment.gen_links)
+            snap[f"links.{name}"] = {"dropped_frames": float(link_drops)}
+        return snap
+
+
+class SingleServerTopology(BaseTopology):
+    """Fig. 5: PktGen ↔ switch ↔ one NF server."""
+
+    def __init__(
+        self,
+        env: EventLoop,
+        program: SwitchProgram,
+        server_model: NfServerModel,
+        pktgen_config: PktGenConfig,
+        nic_spec: NicSpec = NIC_10GE,
+        gen_link_gbps: float = 100.0,
+        server_link_gbps: Optional[float] = None,
+        port_buffer_bytes: int = DEFAULT_PORT_BUFFER_BYTES,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(env, program)
+        if len(program.bindings) != 1:
+            raise ValueError("SingleServerTopology expects a program with exactly one binding")
+        self.attachment = self.attach_server(
+            binding=program.bindings[0],
+            server_model=server_model,
+            pktgen_config=pktgen_config,
+            nic_spec=nic_spec,
+            gen_link_gbps=gen_link_gbps,
+            server_link_gbps=server_link_gbps,
+            port_buffer_bytes=port_buffer_bytes,
+            seed=seed,
+        )
+
+    @property
+    def pktgen(self) -> TrafficGenNode:
+        """The single traffic generator."""
+        return self.attachment.pktgen
+
+    @property
+    def server(self) -> NfServerNode:
+        """The single NF server."""
+        return self.attachment.server
+
+
+class MultiServerTopology(BaseTopology):
+    """§6.2.3: several NF servers share the switch, one slice of memory each."""
+
+    def __init__(
+        self,
+        env: EventLoop,
+        program: SwitchProgram,
+        server_models: List[NfServerModel],
+        pktgen_configs: List[PktGenConfig],
+        nic_spec: NicSpec = NIC_10GE,
+        gen_link_gbps: float = 100.0,
+        server_link_gbps: Optional[float] = None,
+        port_buffer_bytes: int = DEFAULT_PORT_BUFFER_BYTES,
+    ) -> None:
+        super().__init__(env, program)
+        bindings = program.bindings
+        if not (len(bindings) == len(server_models) == len(pktgen_configs)):
+            raise ValueError(
+                "need exactly one server model and one PktGen config per binding"
+            )
+        for index, (binding, model, config) in enumerate(
+            zip(bindings, server_models, pktgen_configs)
+        ):
+            self.attach_server(
+                binding=binding,
+                server_model=model,
+                pktgen_config=config,
+                nic_spec=nic_spec,
+                gen_link_gbps=gen_link_gbps,
+                server_link_gbps=server_link_gbps,
+                port_buffer_bytes=port_buffer_bytes,
+                seed=index + 1,
+            )

@@ -1,0 +1,110 @@
+"""The traffic generator / sink as a simulation node.
+
+One node plays both roles the PktGen server plays in the paper's
+testbed: it offers load into the switch through (usually two) ports and
+it receives the packets that come back after the NF chain, measuring
+end-to-end latency, delivered goodput and drop rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.netsim.eventloop import EventLoop
+from repro.netsim.node import Node
+from repro.packet.packet import Packet
+from repro.telemetry.latency import LatencyRecorder
+from repro.traffic.pktgen import PacketFactory, PktGenConfig
+
+
+class TrafficGenNode(Node):
+    """A PktGen-style traffic source and measurement sink."""
+
+    def __init__(
+        self,
+        env: EventLoop,
+        config: PktGenConfig,
+        tx_ports: Optional[List[int]] = None,
+        name: str = "pktgen",
+    ) -> None:
+        super().__init__(env, name)
+        self.config = config
+        self.factory = PacketFactory(config)
+        self.tx_ports = list(tx_ports) if tx_ports is not None else [0, 1]
+        if not self.tx_ports:
+            raise ValueError("the traffic generator needs at least one TX port")
+        self._port_cursor = 0
+        self._running = False
+        self._stop_at_ns: Optional[int] = None
+        self.latency = LatencyRecorder()
+        # Counters.
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_received = 0
+        self.useful_bytes_received = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+
+    def start(self, duration_ns: int) -> None:
+        """Begin offering load now and stop after *duration_ns*."""
+        if duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+        self._running = True
+        self._stop_at_ns = self.env.now + duration_ns
+        self.env.schedule_in(0, self._emit_burst)
+
+    def stop(self) -> None:
+        """Stop offering load (already-queued frames still drain)."""
+        self._running = False
+
+    def _emit_burst(self) -> None:
+        if not self._running:
+            return
+        if self._stop_at_ns is not None and self.env.now >= self._stop_at_ns:
+            self._running = False
+            return
+        burst_bytes = 0
+        for _ in range(self.config.burst_size):
+            packet = self.factory.next_packet()
+            packet.meta["tx_ns"] = self.env.now
+            packet.meta["generator"] = self.name
+            port = self.tx_ports[self._port_cursor]
+            self._port_cursor = (self._port_cursor + 1) % len(self.tx_ports)
+            wire = packet.wire_length
+            burst_bytes += wire
+            self.packets_sent += 1
+            self.bytes_sent += wire
+            self.send_out(port, packet)
+        # Pace the next burst so the long-run offered rate matches the config.
+        gap_ns = max(1, int(round(burst_bytes * 8 / self.config.rate_gbps)))
+        self.env.schedule_in(gap_ns, self._emit_burst)
+
+    # ------------------------------------------------------------------ #
+    # Sink
+    # ------------------------------------------------------------------ #
+
+    def handle_packet(self, packet: Packet, port: int) -> None:
+        """Count a packet that completed the round trip through the NF chain."""
+        self.packets_received += 1
+        self.bytes_received += packet.wire_length
+        self.useful_bytes_received += packet.useful_bytes
+        tx_ns = packet.meta.get("tx_ns")
+        if tx_ns is not None:
+            self.latency.record(self.env.now - tx_ns)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot for warm-up-window deltas."""
+        return {
+            "packets_sent": self.packets_sent,
+            "bytes_sent": self.bytes_sent,
+            "packets_received": self.packets_received,
+            "bytes_received": self.bytes_received,
+            "useful_bytes_received": self.useful_bytes_received,
+        }

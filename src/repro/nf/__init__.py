@@ -1,0 +1,44 @@
+"""Network functions and the NF-framework model.
+
+PayloadPark targets *shallow* NFs — functions that examine only packet
+headers.  The paper evaluates firewalls (linear ACL probing), a MazuNAT-
+style NAT, a Maglev-style L4 load balancer, a MAC-address swapper used
+for functional-equivalence checks, and synthetic NFs of calibrated CPU
+cost (NF-Light/Medium/Heavy).  NFs run inside an NF framework
+(OpenNetVM or NetBricks in the paper); the framework model captures the
+per-packet overhead and buffering that determine when the NF server
+becomes compute bound.
+"""
+
+from repro.nf.base import NetworkFunction, NfResult, NfVerdict
+from repro.nf.chain import NfChain
+from repro.nf.firewall import Firewall, FirewallRule
+from repro.nf.framework import NETBRICKS, OPENNETVM, NfFramework
+from repro.nf.loadbalancer import Backend, MaglevLoadBalancer
+from repro.nf.macswap import MacSwapper
+from repro.nf.nat import Nat, NatBinding
+from repro.nf.server import NfServerConfig, NfServerModel
+from repro.nf.synthetic import NF_HEAVY_CYCLES, NF_LIGHT_CYCLES, NF_MEDIUM_CYCLES, SyntheticNf
+
+__all__ = [
+    "NetworkFunction",
+    "NfResult",
+    "NfVerdict",
+    "NfChain",
+    "Firewall",
+    "FirewallRule",
+    "Nat",
+    "NatBinding",
+    "MaglevLoadBalancer",
+    "Backend",
+    "MacSwapper",
+    "SyntheticNf",
+    "NF_LIGHT_CYCLES",
+    "NF_MEDIUM_CYCLES",
+    "NF_HEAVY_CYCLES",
+    "NfFramework",
+    "OPENNETVM",
+    "NETBRICKS",
+    "NfServerModel",
+    "NfServerConfig",
+]

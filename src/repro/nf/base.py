@@ -1,0 +1,87 @@
+"""Base types shared by all network functions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.packet.packet import Packet
+
+
+class NfVerdict(enum.Enum):
+    """What an NF decided to do with a packet."""
+
+    FORWARD = "forward"
+    DROP = "drop"
+
+
+@dataclass
+class NfResult:
+    """Outcome of one NF processing one packet.
+
+    Attributes
+    ----------
+    verdict:
+        Forward or drop.
+    cycles:
+        CPU cycles the NF spent on this packet (drives the compute-bound
+        analysis of §6.3.3).
+    reason:
+        Optional human-readable reason for a drop.
+    """
+
+    verdict: NfVerdict
+    cycles: int
+    reason: str = ""
+
+    @property
+    def forwarded(self) -> bool:
+        """True when the packet continues down the chain."""
+        return self.verdict is NfVerdict.FORWARD
+
+
+class NetworkFunction:
+    """Base class for shallow network functions.
+
+    Subclasses implement :meth:`process`, which may rewrite the packet's
+    headers in place (shallow NFs never touch the payload) and must
+    return an :class:`NfResult` with the verdict and the CPU cycles
+    consumed.  ``name`` is used in experiment reports.
+    """
+
+    #: Default per-packet cost charged on top of subclass-specific work.
+    base_cycles: int = 30
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or type(self).__name__
+        self.packets_seen = 0
+        self.packets_dropped = 0
+
+    def process(self, packet: Packet) -> NfResult:
+        """Process one packet; must be overridden."""
+        raise NotImplementedError
+
+    def __call__(self, packet: Packet) -> NfResult:
+        """Bookkeeping wrapper around :meth:`process`."""
+        self.packets_seen += 1
+        result = self.process(packet)
+        if not result.forwarded:
+            self.packets_dropped += 1
+        return result
+
+    def reset_counters(self) -> None:
+        """Zero the per-NF counters."""
+        self.packets_seen = 0
+        self.packets_dropped = 0
+
+    def forward(self, cycles: int) -> NfResult:
+        """Helper: build a FORWARD result with *cycles* total cost."""
+        return NfResult(verdict=NfVerdict.FORWARD, cycles=cycles)
+
+    def drop(self, cycles: int, reason: str = "") -> NfResult:
+        """Helper: build a DROP result with *cycles* total cost."""
+        return NfResult(verdict=NfVerdict.DROP, cycles=cycles, reason=reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

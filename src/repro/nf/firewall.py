@@ -1,0 +1,107 @@
+"""A stateless firewall that linearly probes an access-control list.
+
+The paper's firewall "linearly probes through a list of blacklisted IP
+addresses" — the three-NF chain uses 20 rules, the two-NF chain a single
+rule — so its per-packet cost grows with the rule count, which is what
+makes the FW → NAT chain more compute-hungry than a lone NAT (§6.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.nf.base import NetworkFunction, NfResult
+from repro.packet.ipv4 import IPv4Address
+from repro.packet.packet import Packet
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """One ACL entry: drop packets whose source address falls in a prefix.
+
+    Attributes
+    ----------
+    network / prefix_len:
+        The blacklisted source prefix.
+    dst_port:
+        Optional destination-port qualifier (``None`` matches any port).
+    """
+
+    network: IPv4Address
+    prefix_len: int = 32
+    dst_port: Optional[int] = None
+
+    def matches(self, packet: Packet) -> bool:
+        """True when *packet* should be dropped by this rule."""
+        if packet.ip is None:
+            return False
+        if not packet.ip.src.in_subnet(self.network, self.prefix_len):
+            return False
+        if self.dst_port is not None:
+            if packet.l4 is None or packet.l4.dst_port != self.dst_port:
+                return False
+        return True
+
+    @classmethod
+    def blacklist(cls, cidr: str) -> "FirewallRule":
+        """Build a rule from ``"a.b.c.d/len"`` (or a bare address)."""
+        if "/" in cidr:
+            address, prefix = cidr.split("/", 1)
+            return cls(network=IPv4Address.from_string(address), prefix_len=int(prefix))
+        return cls(network=IPv4Address.from_string(cidr), prefix_len=32)
+
+
+class Firewall(NetworkFunction):
+    """Linear-probe ACL firewall.
+
+    Parameters
+    ----------
+    rules:
+        Blacklist entries, probed in order; the first match drops the
+        packet.
+    cycles_per_rule:
+        CPU cycles charged per probed rule (linear search).
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Iterable[FirewallRule]] = None,
+        cycles_per_rule: int = 6,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name or "Firewall")
+        self.rules: List[FirewallRule] = list(rules or [])
+        self.cycles_per_rule = cycles_per_rule
+
+    def add_rule(self, rule: FirewallRule) -> None:
+        """Append an ACL entry."""
+        self.rules.append(rule)
+
+    def process(self, packet: Packet) -> NfResult:
+        """Probe the ACL; drop on the first match."""
+        probed = 0
+        for rule in self.rules:
+            probed += 1
+            if rule.matches(packet):
+                cycles = self.base_cycles + probed * self.cycles_per_rule
+                return self.drop(cycles, reason=f"blacklisted by rule {probed - 1}")
+        cycles = self.base_cycles + probed * self.cycles_per_rule
+        return self.forward(cycles)
+
+    @classmethod
+    def with_rule_count(cls, rule_count: int, blacklist_subnet: str = "192.168.0.0/16",
+                        name: Optional[str] = None) -> "Firewall":
+        """Build a firewall with *rule_count* rules, only the last of which can hit.
+
+        The evaluation varies the firewall's rule count to change its
+        compute cost (20 rules for the three-NF chain, 1 for the two-NF
+        chain); the rules point at an address range the traffic
+        generator does not use unless an experiment deliberately directs
+        a fraction of flows into it.
+        """
+        rules = [
+            FirewallRule.blacklist(f"172.30.{i % 256}.0/24") for i in range(max(rule_count - 1, 0))
+        ]
+        rules.append(FirewallRule.blacklist(blacklist_subnet))
+        return cls(rules=rules, name=name)

@@ -1,0 +1,163 @@
+"""A Maglev-style L4 load balancer.
+
+Maglev (NSDI '16) builds a fixed-size lookup table from per-backend
+preference lists so that (a) load spreads almost evenly and (b) most
+flows keep their backend when the pool changes.  The paper's three-NF
+chain ends in a Maglev-based load balancer; like the other shallow NFs
+it only reads the 5-tuple and rewrites the destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.nf.base import NetworkFunction, NfResult
+from repro.packet.flows import FiveTuple
+from repro.packet.ipv4 import IPv4Address
+from repro.packet.packet import Packet
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One backend server in the load-balanced pool."""
+
+    name: str
+    ip: IPv4Address
+
+    @classmethod
+    def from_string(cls, name: str, ip: str) -> "Backend":
+        """Build a backend from a dotted-quad string."""
+        return cls(name=name, ip=IPv4Address.from_string(ip))
+
+
+def _is_prime(value: int) -> bool:
+    if value < 2:
+        return False
+    factor = 2
+    while factor * factor <= value:
+        if value % factor == 0:
+            return False
+        factor += 1
+    return True
+
+
+def next_prime(value: int) -> int:
+    """Smallest prime >= *value* (Maglev requires a prime table size)."""
+    candidate = max(value, 2)
+    while not _is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+class MaglevLoadBalancer(NetworkFunction):
+    """Consistent-hashing load balancer using Maglev's population algorithm.
+
+    Parameters
+    ----------
+    backends:
+        The backend pool.
+    table_size:
+        Lookup-table size; rounded up to the next prime.  Maglev uses
+        65537 in production; the default here is smaller so unit tests
+        stay fast while preserving the algorithm.
+    hash_cycles / rewrite_cycles:
+        CPU cost of hashing the 5-tuple and rewriting the destination.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[Backend],
+        table_size: int = 251,
+        hash_cycles: int = 120,
+        rewrite_cycles: int = 60,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name or "MaglevLB")
+        if not backends:
+            raise ValueError("the load balancer needs at least one backend")
+        self.backends: List[Backend] = list(backends)
+        self.table_size = next_prime(table_size)
+        self.hash_cycles = hash_cycles
+        self.rewrite_cycles = rewrite_cycles
+        self.lookup_table: List[int] = self._populate()
+        self.assignments: Dict[str, int] = {backend.name: 0 for backend in self.backends}
+
+    # ------------------------------------------------------------------ #
+    # Maglev table population
+    # ------------------------------------------------------------------ #
+
+    def _hash(self, data: str, seed: int) -> int:
+        value = 0xCBF29CE484222325 ^ (seed * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF)
+        for char in data:
+            value ^= ord(char)
+            value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return value
+
+    def _populate(self) -> List[int]:
+        """Build the lookup table from each backend's permutation."""
+        size = self.table_size
+        permutations = []
+        for backend in self.backends:
+            offset = self._hash(backend.name, seed=1) % size
+            skip = self._hash(backend.name, seed=2) % (size - 1) + 1
+            permutations.append([(offset + j * skip) % size for j in range(size)])
+        table = [-1] * size
+        next_index = [0] * len(self.backends)
+        filled = 0
+        while filled < size:
+            for backend_index in range(len(self.backends)):
+                if filled >= size:
+                    break
+                permutation = permutations[backend_index]
+                cursor = next_index[backend_index]
+                while cursor < size and table[permutation[cursor]] >= 0:
+                    cursor += 1
+                if cursor >= size:
+                    next_index[backend_index] = cursor
+                    continue
+                table[permutation[cursor]] = backend_index
+                next_index[backend_index] = cursor + 1
+                filled += 1
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Datapath
+    # ------------------------------------------------------------------ #
+
+    def backend_for(self, flow: FiveTuple) -> Backend:
+        """Return the backend consistently chosen for *flow*."""
+        index = self.lookup_table[flow.stable_hash() % self.table_size]
+        return self.backends[index]
+
+    def process(self, packet: Packet) -> NfResult:
+        """Rewrite the destination address to the chosen backend."""
+        cycles = self.base_cycles + self.hash_cycles
+        flow = packet.five_tuple()
+        if flow is None or packet.ip is None:
+            return self.forward(cycles)
+        backend = self.backend_for(flow)
+        packet.ip.dst = backend.ip
+        self.assignments[backend.name] += 1
+        return self.forward(cycles + self.rewrite_cycles)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def load_imbalance(self) -> float:
+        """Max/mean ratio of table entries per backend (1.0 is perfect)."""
+        counts = [0] * len(self.backends)
+        for entry in self.lookup_table:
+            counts[entry] += 1
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0
+
+    @classmethod
+    def with_backend_count(cls, count: int, table_size: int = 251,
+                           name: Optional[str] = None) -> "MaglevLoadBalancer":
+        """Build a pool of *count* synthetic backends (10.100.0.x)."""
+        backends = [
+            Backend.from_string(f"backend-{i}", f"10.100.0.{i + 1}") for i in range(count)
+        ]
+        return cls(backends=backends, table_size=table_size, name=name)

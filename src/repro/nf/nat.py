@@ -1,0 +1,120 @@
+"""A MazuNAT-style source NAT.
+
+Outbound flows (identified by their 5-tuple) are rewritten to an
+external address and a dynamically allocated external port; the binding
+is remembered so reverse traffic can be translated back.  Only headers
+are touched — the payload is never read — which is what makes a NAT a
+shallow NF that PayloadPark can serve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.nf.base import NetworkFunction, NfResult
+from repro.packet.flows import FiveTuple
+from repro.packet.ipv4 import IPv4Address
+from repro.packet.packet import Packet
+
+
+@dataclass(frozen=True)
+class NatBinding:
+    """One NAT translation: the original flow and its external rewrite."""
+
+    internal: FiveTuple
+    external_ip: IPv4Address
+    external_port: int
+
+
+class NatPortExhausted(RuntimeError):
+    """No free external ports remain for new flows."""
+
+
+class Nat(NetworkFunction):
+    """Source NAT with a hash-table flow lookup (MazuNAT-like behaviour).
+
+    Parameters
+    ----------
+    external_ip:
+        Address that replaces the source address of outbound packets.
+    port_range:
+        Inclusive range of external ports available for allocation.
+    lookup_cycles / rewrite_cycles:
+        CPU cost of the flow-table lookup and of the header rewrite
+        (including checksum adjustment).
+    """
+
+    def __init__(
+        self,
+        external_ip: str = "203.0.113.1",
+        port_range: tuple = (20_000, 60_000),
+        lookup_cycles: int = 80,
+        rewrite_cycles: int = 60,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name or "NAT")
+        self.external_ip = IPv4Address.from_string(external_ip)
+        self.port_low, self.port_high = port_range
+        if self.port_low >= self.port_high:
+            raise ValueError("port_range must be an increasing (low, high) pair")
+        self.lookup_cycles = lookup_cycles
+        self.rewrite_cycles = rewrite_cycles
+        self._bindings: Dict[FiveTuple, NatBinding] = {}
+        self._reverse: Dict[int, NatBinding] = {}
+        self._next_port = self.port_low
+
+    # ------------------------------------------------------------------ #
+    # Binding management
+    # ------------------------------------------------------------------ #
+
+    def _allocate_port(self) -> int:
+        if len(self._reverse) >= (self.port_high - self.port_low + 1):
+            raise NatPortExhausted("all external NAT ports are in use")
+        port = self._next_port
+        while port in self._reverse:
+            port = self.port_low + ((port + 1 - self.port_low) % (self.port_high - self.port_low + 1))
+        self._next_port = self.port_low + ((port + 1 - self.port_low) % (self.port_high - self.port_low + 1))
+        return port
+
+    def binding_for(self, flow: FiveTuple) -> NatBinding:
+        """Return (allocating if needed) the binding for an outbound flow."""
+        binding = self._bindings.get(flow)
+        if binding is None:
+            binding = NatBinding(
+                internal=flow,
+                external_ip=self.external_ip,
+                external_port=self._allocate_port(),
+            )
+            self._bindings[flow] = binding
+            self._reverse[binding.external_port] = binding
+        return binding
+
+    @property
+    def active_bindings(self) -> int:
+        """Number of live translations."""
+        return len(self._bindings)
+
+    # ------------------------------------------------------------------ #
+    # Datapath
+    # ------------------------------------------------------------------ #
+
+    def process(self, packet: Packet) -> NfResult:
+        """Translate the packet's source address and port."""
+        cycles = self.base_cycles + self.lookup_cycles
+        flow = packet.five_tuple()
+        if flow is None or packet.ip is None or packet.l4 is None:
+            # Non-IP or headerless traffic passes through untranslated.
+            return self.forward(cycles)
+        if packet.ip.dst == self.external_ip:
+            # Reverse direction: translate the destination back.
+            binding = self._reverse.get(packet.l4.dst_port)
+            if binding is None:
+                return self.drop(cycles, reason="no NAT binding for reverse flow")
+            packet.ip.dst = binding.internal.src_ip
+            packet.l4.dst_port = binding.internal.src_port
+            return self.forward(cycles + self.rewrite_cycles)
+        binding = self.binding_for(flow)
+        packet.ip.src = binding.external_ip
+        packet.l4.src_port = binding.external_port
+        return self.forward(cycles + self.rewrite_cycles)

@@ -1,0 +1,134 @@
+"""The NF server cost model.
+
+The paper's NF server is a many-core Xeon running OpenNetVM or NetBricks
+with a DPDK NIC.  For the simulation, what matters is (a) the per-packet
+service time of the slowest stage of the framework pipeline (which sets
+the compute-bound packets-per-second ceiling of §6.2.2/§6.3.3), (b) the
+end-to-end processing latency through the chain, and (c) how many
+packets can be buffered inside the server before its NIC starts
+dropping.  :class:`NfServerModel` derives those three quantities from an
+:class:`~repro.nf.chain.NfChain` and an
+:class:`~repro.nf.framework.NfFramework` profile; the discrete-event
+host in :mod:`repro.netsim.server_node` consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.nf.base import NfResult
+from repro.nf.chain import NfChain
+from repro.nf.framework import OPENNETVM, NfFramework
+from repro.packet.packet import Packet
+
+
+@dataclass
+class NfServerConfig:
+    """Static parameters of one NF server.
+
+    Attributes
+    ----------
+    cpu_ghz:
+        Core clock used to convert cycles to time (2.3 GHz Xeon E7-4870
+        v2 in the paper's NF server).
+    framework:
+        NF framework profile (OpenNetVM / NetBricks).
+    rx_ring_entries:
+        NIC receive descriptor ring depth.
+    per_hop_latency_ns:
+        Fixed pipeline latency added per framework hop (polling and
+        batching delay between rings); containers cost more than
+        function calls.
+    explicit_drop:
+        When True (and the framework supports it) the server sends
+        Explicit Drop notifications for packets its chain drops.
+    service_jitter:
+        Coefficient of variation applied to per-packet service times by
+        the discrete-event host (models cache misses, batching and
+        scheduling noise).
+    nf_instances:
+        How many cores each NF of the chain is scaled across (OpenNetVM
+        and NetBricks both support running multiple instances of an NF;
+        the paper's 60-core server has cores to spare).  The RX and TX
+        threads are not scaled.
+    """
+
+    cpu_ghz: float = 2.3
+    framework: NfFramework = field(default_factory=lambda: OPENNETVM)
+    rx_ring_entries: int = 1024
+    per_hop_latency_ns: int = 2_000
+    explicit_drop: bool = False
+    service_jitter: float = 0.3
+    nf_instances: int = 2
+
+
+class NfServerModel:
+    """Derives timing and capacity figures for one NF server + chain."""
+
+    def __init__(self, chain: NfChain, config: Optional[NfServerConfig] = None,
+                 name: str = "nf-server") -> None:
+        self.chain = chain
+        self.config = config or NfServerConfig()
+        self.name = name
+        if self.config.explicit_drop and not self.config.framework.supports_explicit_drop:
+            self.config.framework = self.config.framework.with_explicit_drop()
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+
+    def stage_service_times_ns(self) -> List[float]:
+        """Per-packet service time of each pipeline stage, in nanoseconds.
+
+        The pipeline is: RX thread, one stage per NF (each including the
+        framework's per-hop overhead), TX thread.  In OpenNetVM each of
+        these runs on its own core, so the *throughput* of the chain is
+        set by the slowest stage while every stage adds to latency.
+        """
+        ghz = self.config.cpu_ghz
+        framework = self.config.framework
+        instances = max(1, self.config.nf_instances)
+        stages = [framework.rx_cycles / ghz]
+        for nf_cycles in self.chain.stage_cycle_estimates():
+            stages.append((nf_cycles + framework.per_nf_overhead_cycles) / ghz / instances)
+        stages.append(framework.tx_cycles / ghz)
+        return stages
+
+    def bottleneck_service_ns(self) -> float:
+        """Service time of the slowest pipeline stage (sets max pps)."""
+        return max(self.stage_service_times_ns())
+
+    def max_throughput_pps(self) -> float:
+        """Compute-bound packet rate of the server."""
+        return 1e9 / self.bottleneck_service_ns()
+
+    def pipeline_latency_ns(self) -> float:
+        """Zero-queueing latency through the whole framework pipeline."""
+        stage_time = sum(self.stage_service_times_ns())
+        hops = len(self.chain) + 1  # NIC→NF rings plus NF→TX ring
+        return stage_time + hops * self.config.per_hop_latency_ns
+
+    def buffer_capacity_packets(self) -> int:
+        """Packets that can queue inside the server before the NIC drops."""
+        framework = self.config.framework
+        return self.config.rx_ring_entries + framework.ring_entries * len(self.chain)
+
+    # ------------------------------------------------------------------ #
+    # Datapath
+    # ------------------------------------------------------------------ #
+
+    def process_packet(self, packet: Packet) -> NfResult:
+        """Run the packet through the NF chain (header rewrites, drops)."""
+        return self.chain.process(packet)
+
+    @property
+    def wants_explicit_drop(self) -> bool:
+        """True when dropped packets should produce Explicit Drop notifications."""
+        return self.config.explicit_drop and self.config.framework.supports_explicit_drop
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NfServerModel(name={self.name!r}, chain={self.chain.name!r}, "
+            f"framework={self.config.framework.name!r})"
+        )

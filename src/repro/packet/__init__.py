@@ -1,0 +1,39 @@
+"""Packet substrate: header codecs, packets, checksums, PCAP and flows.
+
+The PayloadPark prototype operates on Ethernet/IPv4/UDP (and TCP) frames.
+This subpackage provides byte-accurate header encode/decode, a ``Packet``
+container used throughout the simulator, Internet checksums and the CRC
+used to validate the PayloadPark tag, a minimal libpcap-format reader and
+writer (the paper replays PCAP files), and 5-tuple flow helpers.
+"""
+
+from repro.packet.checksum import internet_checksum, verify_internet_checksum
+from repro.packet.crc import crc16, crc32
+from repro.packet.ethernet import EthernetHeader, MacAddress
+from repro.packet.flows import FiveTuple, FlowGenerator
+from repro.packet.ipv4 import IPv4Address, IPv4Header
+from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES, Packet
+from repro.packet.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.packet.tcp import TcpHeader
+from repro.packet.udp import UdpHeader
+
+__all__ = [
+    "EthernetHeader",
+    "MacAddress",
+    "IPv4Header",
+    "IPv4Address",
+    "UdpHeader",
+    "TcpHeader",
+    "Packet",
+    "ETHERNET_UDP_HEADER_BYTES",
+    "internet_checksum",
+    "verify_internet_checksum",
+    "crc16",
+    "crc32",
+    "PcapReader",
+    "PcapWriter",
+    "read_pcap",
+    "write_pcap",
+    "FiveTuple",
+    "FlowGenerator",
+]

@@ -1,0 +1,316 @@
+"""The ``Packet`` container used throughout the simulator.
+
+A :class:`Packet` keeps its protocol headers in parsed form (Ethernet,
+IPv4, UDP/TCP) next to a raw payload.  The PayloadPark dataplane attaches
+a PayloadPark header between the L4 header and the payload; the packet
+only stores a reference to that header object, so the switch code in
+:mod:`repro.core` can add and remove it without re-serializing the whole
+frame.  ``to_bytes``/``from_bytes`` give byte-exact wire images, which the
+functional-equivalence experiment (§6.2.6) compares between PayloadPark
+and baseline deployments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.packet.ethernet import ETHERTYPE_IPV4, EthernetHeader, MacAddress
+from repro.packet.ipv4 import PROTO_TCP, PROTO_UDP, IPv4Address, IPv4Header
+from repro.packet.tcp import TcpHeader
+from repro.packet.udp import UdpHeader
+
+#: Ethernet (14) + IPv4 (20) + UDP (8): the header/payload decoupling
+#: boundary and the per-packet "useful bytes" unit used for goodput.
+ETHERNET_UDP_HEADER_BYTES = 42
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A parsed network packet plus simulator metadata.
+
+    Attributes
+    ----------
+    eth:
+        Ethernet header (always present).
+    ip:
+        IPv4 header, or ``None`` for non-IP frames.
+    l4:
+        UDP or TCP header, or ``None``.
+    payload:
+        Application payload bytes (after the L4 header).
+    pp:
+        The PayloadPark header attached by the switch's Split stage, or
+        ``None``.  Stored by reference; it contributes
+        ``pp.byte_length()`` bytes to the wire length while attached.
+    meta:
+        Free-form simulation metadata (ingress port, timestamps, …).
+    packet_id:
+        Monotonic identifier assigned at construction, used for
+        latency bookkeeping and functional-equivalence matching.
+    """
+
+    eth: EthernetHeader
+    ip: Optional[IPv4Header] = None
+    l4: Optional[Union[UdpHeader, TcpHeader]] = None
+    payload: bytes = b""
+    pp: Optional[Any] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def udp(
+        cls,
+        src_mac: str = "02:00:00:00:00:01",
+        dst_mac: str = "02:00:00:00:00:02",
+        src_ip: str = "10.0.0.1",
+        dst_ip: str = "10.0.0.2",
+        src_port: int = 1234,
+        dst_port: int = 5678,
+        payload: bytes = b"",
+        total_size: Optional[int] = None,
+    ) -> "Packet":
+        """Build a UDP packet.
+
+        If *total_size* is given the payload is padded (with a repeating
+        pattern) or the caller-supplied payload truncated so the full
+        frame is exactly ``total_size`` bytes, mirroring how PktGen
+        produces fixed-size packets.
+        """
+        if total_size is not None:
+            if total_size < ETHERNET_UDP_HEADER_BYTES:
+                raise ValueError(
+                    f"total_size must be >= {ETHERNET_UDP_HEADER_BYTES}, got {total_size}"
+                )
+            payload_len = total_size - ETHERNET_UDP_HEADER_BYTES
+            payload = _pad_payload(payload, payload_len)
+        udp_len = UdpHeader.HEADER_LEN + len(payload)
+        ip_len = IPv4Header.HEADER_LEN + udp_len
+        packet = cls(
+            eth=EthernetHeader(
+                dst=MacAddress.from_string(dst_mac),
+                src=MacAddress.from_string(src_mac),
+                ethertype=ETHERTYPE_IPV4,
+            ),
+            ip=IPv4Header(
+                src=IPv4Address.from_string(src_ip),
+                dst=IPv4Address.from_string(dst_ip),
+                protocol=PROTO_UDP,
+                total_length=ip_len,
+            ),
+            l4=UdpHeader(src_port=src_port, dst_port=dst_port, length=udp_len),
+            payload=payload,
+        )
+        return packet
+
+    @classmethod
+    def tcp(
+        cls,
+        src_mac: str = "02:00:00:00:00:01",
+        dst_mac: str = "02:00:00:00:00:02",
+        src_ip: str = "10.0.0.1",
+        dst_ip: str = "10.0.0.2",
+        src_port: int = 1234,
+        dst_port: int = 80,
+        payload: bytes = b"",
+        flags: int = 0,
+    ) -> "Packet":
+        """Build an option-less TCP packet."""
+        ip_len = IPv4Header.HEADER_LEN + TcpHeader.HEADER_LEN + len(payload)
+        return cls(
+            eth=EthernetHeader(
+                dst=MacAddress.from_string(dst_mac),
+                src=MacAddress.from_string(src_mac),
+                ethertype=ETHERTYPE_IPV4,
+            ),
+            ip=IPv4Header(
+                src=IPv4Address.from_string(src_ip),
+                dst=IPv4Address.from_string(dst_ip),
+                protocol=PROTO_TCP,
+                total_length=ip_len,
+            ),
+            l4=TcpHeader(src_port=src_port, dst_port=dst_port, flags=flags),
+            payload=payload,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Size accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def header_length(self) -> int:
+        """Bytes of protocol headers (Ethernet + IPv4 + L4), excluding PayloadPark."""
+        length = EthernetHeader.HEADER_LEN
+        if self.ip is not None:
+            length += IPv4Header.HEADER_LEN
+        if self.l4 is not None:
+            length += self.l4.HEADER_LEN
+        return length
+
+    @property
+    def payload_length(self) -> int:
+        """Bytes of application payload currently carried in the frame."""
+        return len(self.payload)
+
+    @property
+    def wire_length(self) -> int:
+        """Total bytes this frame occupies on a link right now.
+
+        Includes the PayloadPark header if attached.  After Split the
+        payload has been truncated, so the wire length shrinks — that is
+        the whole point of PayloadPark.
+        """
+        length = self.header_length + len(self.payload)
+        if self.pp is not None:
+            length += self.pp.byte_length()
+        return length
+
+    @property
+    def useful_bytes(self) -> int:
+        """Bytes of useful information for goodput accounting.
+
+        The paper counts the Ethernet+IPv4+UDP header (42 bytes) as the
+        useful part of each packet, because that is all a shallow NF
+        examines.  Packets without an L4 header count their actual header
+        bytes.
+        """
+        return min(self.header_length, ETHERNET_UDP_HEADER_BYTES)
+
+    # ------------------------------------------------------------------ #
+    # Flow identity
+    # ------------------------------------------------------------------ #
+
+    def five_tuple(self):
+        """Return ``(src_ip, dst_ip, proto, src_port, dst_port)`` or ``None``.
+
+        Imported lazily to avoid a cycle with :mod:`repro.packet.flows`.
+        """
+        from repro.packet.flows import FiveTuple
+
+        if self.ip is None or self.l4 is None:
+            return None
+        return FiveTuple(
+            src_ip=self.ip.src,
+            dst_ip=self.ip.dst,
+            protocol=self.ip.protocol,
+            src_port=self.l4.src_port,
+            dst_port=self.l4.dst_port,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_bytes(self) -> bytes:
+        """Serialize the frame to its exact wire image.
+
+        Header length fields are *not* silently fixed up: the simulator
+        keeps them consistent explicitly (Split/Merge adjust them), so a
+        mismatch is a bug we want tests to catch.
+        """
+        parts = [self.eth.to_bytes()]
+        if self.ip is not None:
+            parts.append(self.ip.to_bytes())
+        if self.l4 is not None:
+            parts.append(self.l4.to_bytes())
+        if self.pp is not None:
+            parts.append(self.pp.to_bytes())
+        parts.append(self.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Packet":
+        """Parse a wire image into a Packet (Ethernet, then IPv4, then L4).
+
+        Unknown ethertypes or IP protocols leave the remaining bytes in
+        ``payload``.  The PayloadPark header is not parsed here — on the
+        wire it is indistinguishable from payload to anything that is not
+        PayloadPark-aware, which is what makes the optimization
+        transparent; the switch re-attaches it via
+        :meth:`repro.core.header.PayloadParkHeader.from_bytes`.
+        """
+        eth = EthernetHeader.from_bytes(data)
+        offset = EthernetHeader.HEADER_LEN
+        ip = None
+        l4: Optional[Union[UdpHeader, TcpHeader]] = None
+        if eth.ethertype == ETHERTYPE_IPV4 and len(data) >= offset + IPv4Header.HEADER_LEN:
+            ip = IPv4Header.from_bytes(data[offset:])
+            offset += IPv4Header.HEADER_LEN
+            if ip.protocol == PROTO_UDP and len(data) >= offset + UdpHeader.HEADER_LEN:
+                l4 = UdpHeader.from_bytes(data[offset:])
+                offset += UdpHeader.HEADER_LEN
+            elif ip.protocol == PROTO_TCP and len(data) >= offset + TcpHeader.HEADER_LEN:
+                l4 = TcpHeader.from_bytes(data[offset:])
+                offset += TcpHeader.HEADER_LEN
+        return cls(eth=eth, ip=ip, l4=l4, payload=data[offset:])
+
+    # ------------------------------------------------------------------ #
+    # Mutation helpers used by the dataplane
+    # ------------------------------------------------------------------ #
+
+    def park_leading_payload(self, parked_bytes: int) -> bytes:
+        """Remove and return the leading *parked_bytes* of the payload.
+
+        Length fields in the IPv4 and UDP headers are adjusted so the
+        truncated frame is self-consistent on the wire.
+        """
+        if parked_bytes < 0 or parked_bytes > len(self.payload):
+            raise ValueError(
+                f"cannot park {parked_bytes} bytes of a {len(self.payload)}-byte payload"
+            )
+        parked = self.payload[:parked_bytes]
+        self.payload = self.payload[parked_bytes:]
+        self._adjust_lengths(-parked_bytes)
+        return parked
+
+    def restore_leading_payload(self, parked: bytes) -> None:
+        """Prepend previously parked bytes back onto the payload."""
+        self.payload = parked + self.payload
+        self._adjust_lengths(len(parked))
+
+    def _adjust_lengths(self, delta: int) -> None:
+        """Apply *delta* bytes to the IPv4 total length and UDP length fields."""
+        if self.ip is not None:
+            self.ip.total_length += delta
+        if isinstance(self.l4, UdpHeader):
+            self.l4.length += delta
+
+    def copy(self) -> "Packet":
+        """Deep-enough copy: headers are copied, payload bytes are shared.
+
+        ``bytes`` objects are immutable so sharing them is safe; header
+        objects are mutable (NFs rewrite them) and therefore copied.
+        """
+        return Packet(
+            eth=self.eth.copy(),
+            ip=self.ip.copy() if self.ip is not None else None,
+            l4=self.l4.copy() if self.l4 is not None else None,
+            payload=self.payload,
+            pp=self.pp.copy() if self.pp is not None else None,
+            meta=dict(self.meta),
+            packet_id=self.packet_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        proto = type(self.l4).__name__ if self.l4 is not None else "raw"
+        return (
+            f"Packet(id={self.packet_id}, {proto}, wire={self.wire_length}B, "
+            f"payload={len(self.payload)}B, pp={'yes' if self.pp else 'no'})"
+        )
+
+
+def _pad_payload(payload: bytes, target_len: int) -> bytes:
+    """Pad or truncate *payload* to exactly *target_len* bytes."""
+    if len(payload) >= target_len:
+        return payload[:target_len]
+    pattern = b"\xab\xcd\xef\x01"
+    needed = target_len - len(payload)
+    filler = (pattern * (needed // len(pattern) + 1))[:needed]
+    return payload + filler

@@ -1,0 +1,44 @@
+"""RMT switch simulator substrate.
+
+The paper's prototype runs on a Barefoot Tofino: a Reconfigurable
+Match-Action Table (RMT) ASIC whose pipeline is a fixed sequence of
+stages, each with local SRAM (register arrays for stateful memory), TCAM,
+VLIW action slots, and match crossbars, fed by a programmable parser and
+drained by a deparser.  This subpackage models that architecture closely
+enough that the PayloadPark program in :mod:`repro.core` can be expressed
+as match-action tables and register arrays subject to the same
+restrictions as the hardware:
+
+* one stateful (register) access per register array per packet pass,
+* a bounded number of stages per pipe,
+* per-stage SRAM / TCAM / VLIW / crossbar budgets,
+* per-pipe isolation of stateful memory (ports only see their pipe), and
+* recirculation as the only way to get more stages per packet.
+"""
+
+from repro.switchsim.asic import AsicConfig, TofinoAsic
+from repro.switchsim.context import PipelinePacket
+from repro.switchsim.mat import MatchActionTable
+from repro.switchsim.parser import Deparser, Parser
+from repro.switchsim.pipe import Pipe
+from repro.switchsim.pipeline import Pipeline
+from repro.switchsim.registers import RegisterAccessError, RegisterArray
+from repro.switchsim.resources import ResourceBudget, ResourceReport, StageResources
+from repro.switchsim.stage import Stage
+
+__all__ = [
+    "TofinoAsic",
+    "AsicConfig",
+    "PipelinePacket",
+    "MatchActionTable",
+    "Parser",
+    "Deparser",
+    "Pipe",
+    "Pipeline",
+    "RegisterArray",
+    "RegisterAccessError",
+    "ResourceBudget",
+    "ResourceReport",
+    "StageResources",
+    "Stage",
+]

@@ -1,0 +1,84 @@
+"""Match-action tables.
+
+A MAT pairs a match predicate (gate) with an action.  In P4 the match is
+expressed over PHV fields through an exact or ternary crossbar; here the
+predicate is a Python callable over the :class:`PipelinePacket`, and the
+table declares how many crossbar bits, VLIW slots and match entries it
+would consume so resource accounting stays faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.switchsim.context import PipelinePacket
+
+MatchFn = Callable[[PipelinePacket], bool]
+ActionFn = Callable[[PipelinePacket], None]
+
+
+class MatchActionTable:
+    """One match-action table.
+
+    Parameters
+    ----------
+    name:
+        Table name (unique within a program, used in reports).
+    match:
+        Predicate deciding whether the action runs for a packet.  ``None``
+        means "always run" (an unconditional table).
+    action:
+        Callable applied to matching packets.
+    match_bits:
+        Width of the match key in bits (consumes crossbar input bits).
+    ternary:
+        Whether the match uses the ternary (TCAM) crossbar.
+    entries:
+        Number of match entries the table is provisioned for; exact-match
+        entries consume stage SRAM, ternary entries consume TCAM.
+    entry_bytes:
+        SRAM bytes per exact-match entry (key + action data + overhead).
+    vliw_slots:
+        VLIW action slots the action consumes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        action: ActionFn,
+        match: Optional[MatchFn] = None,
+        match_bits: int = 16,
+        ternary: bool = False,
+        entries: int = 1,
+        entry_bytes: int = 16,
+        vliw_slots: int = 1,
+    ) -> None:
+        self.name = name
+        self.match = match
+        self.action = action
+        self.match_bits = match_bits
+        self.ternary = ternary
+        self.entries = entries
+        self.entry_bytes = entry_bytes
+        self.vliw_slots = vliw_slots
+        self.hit_count = 0
+        self.miss_count = 0
+
+    def apply(self, ctx: PipelinePacket) -> bool:
+        """Run the table on *ctx*; return True if the action executed."""
+        if ctx.dropped:
+            return False
+        if self.match is None or self.match(ctx):
+            self.action(ctx)
+            self.hit_count += 1
+            return True
+        self.miss_count += 1
+        return False
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (control plane)."""
+        self.hit_count = 0
+        self.miss_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MatchActionTable(name={self.name!r}, entries={self.entries})"

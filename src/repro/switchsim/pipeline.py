@@ -1,0 +1,55 @@
+"""The match-action pipeline: an ordered list of stages."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.switchsim.context import PipelinePacket
+from repro.switchsim.resources import ResourceBudget
+from repro.switchsim.stage import Stage
+
+
+class Pipeline:
+    """An ordered sequence of match-action stages.
+
+    The number of stages is fixed at construction, mirroring hardware
+    (Tofino-class chips have 12 per pipe).  Programs ask for a stage by
+    index and install tables / register arrays into it; requesting a
+    stage beyond the last one is an error — exactly the constraint that
+    forces PayloadPark to recirculate when it wants to park more than
+    160 bytes.
+    """
+
+    def __init__(self, stage_count: int = 12, budget: Optional[ResourceBudget] = None) -> None:
+        if stage_count <= 0:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stage_count = stage_count
+        self.budget = budget or ResourceBudget()
+        self.stages: List[Stage] = [Stage(i, budget=self.budget) for i in range(stage_count)]
+
+    def stage(self, index: int) -> Stage:
+        """Return stage *index* (0-based)."""
+        if not 0 <= index < self.stage_count:
+            raise IndexError(
+                f"stage {index} does not exist; this pipeline has {self.stage_count} stages"
+            )
+        return self.stages[index]
+
+    def process(self, ctx: PipelinePacket) -> PipelinePacket:
+        """Run the packet through every stage in order (a single pass)."""
+        for stage in self.stages:
+            if ctx.dropped:
+                break
+            stage.apply(ctx)
+        return ctx
+
+    def sram_bytes_used(self) -> int:
+        """Total SRAM bytes allocated across all stages."""
+        return sum(stage.resources.sram_bytes_used for stage in self.stages)
+
+    def sram_bytes_capacity(self) -> int:
+        """Total SRAM byte capacity across all stages."""
+        return sum(stage.resources.budget.sram_bytes for stage in self.stages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pipeline(stages={self.stage_count})"

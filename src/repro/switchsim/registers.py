@@ -1,0 +1,157 @@
+"""Register arrays: the stateful SRAM exposed to P4 programs.
+
+RMT switches view stateful memory as fixed-width bit-vector register
+arrays, accessed through a read/write API from match-action table
+actions.  Hardware guarantees line rate by allowing only a single
+stateful ALU operation per register array per packet pass; the simulator
+enforces the same rule through the access guard in
+:class:`~repro.switchsim.context.PipelinePacket`, so a P4-impossible
+program fails loudly here too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.switchsim.context import PipelinePacket
+from repro.switchsim.resources import StageResources
+
+
+class RegisterAccessError(RuntimeError):
+    """A program performed more than one access to a register array in a pass."""
+
+
+class RegisterArray:
+    """A fixed-size array of fixed-width registers living in one stage.
+
+    Parameters
+    ----------
+    name:
+        Unique name, used in error messages and the access guard.
+    size:
+        Number of entries.
+    width_bits:
+        Width of each entry; determines the SRAM the array consumes.
+    stage_resources:
+        When given, the array allocates ``size * width_bits / 8`` bytes
+        from the owning stage's SRAM budget at construction time.
+    initial:
+        Initial value for every entry (0 by default).
+    enforce_single_access:
+        Enforce the one-access-per-packet-pass restriction (on by
+        default; tests may relax it to model hypothetical hardware).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        width_bits: int,
+        stage_resources: Optional[StageResources] = None,
+        initial: Any = 0,
+        enforce_single_access: bool = True,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"register array {name!r} needs a positive size")
+        if width_bits <= 0:
+            raise ValueError(f"register array {name!r} needs a positive width")
+        self.name = name
+        self.size = size
+        self.width_bits = width_bits
+        self.enforce_single_access = enforce_single_access
+        self._values: List[Any] = [initial] * size
+        self._initial = initial
+        if stage_resources is not None:
+            stage_resources.allocate_sram(self.sram_bytes, what=name)
+
+    @property
+    def sram_bytes(self) -> int:
+        """SRAM footprint of the whole array, rounded up to whole bytes."""
+        return self.size * ((self.width_bits + 7) // 8)
+
+    # ------------------------------------------------------------------ #
+    # Dataplane access (guarded)
+    # ------------------------------------------------------------------ #
+
+    def read(self, ctx: PipelinePacket, index: int) -> Any:
+        """Read entry *index* on behalf of the packet in *ctx*."""
+        self._check_index(index)
+        self._note_access(ctx, is_write=False)
+        return self._values[index]
+
+    def write(self, ctx: PipelinePacket, index: int, value: Any) -> None:
+        """Write entry *index* on behalf of the packet in *ctx*."""
+        self._check_index(index)
+        self._note_access(ctx, is_write=True)
+        self._values[index] = value
+
+    def read_modify_write(self, ctx: PipelinePacket, index: int, func) -> Any:
+        """Atomically apply ``func(old) -> new`` to entry *index*.
+
+        This models the stateful ALU: a single access that both reads and
+        writes, as used by the paper's tagger counters and the expiry
+        decrement.  Returns the *new* value.
+        """
+        self._check_index(index)
+        self._note_access(ctx, is_write=True)
+        new_value = func(self._values[index])
+        self._values[index] = new_value
+        return new_value
+
+    def exchange(self, ctx: PipelinePacket, index: int, new_value: Any) -> Any:
+        """Atomically replace entry *index* with *new_value*; return the old value.
+
+        Stateful ALUs can emit the pre-update value while writing a new
+        one in the same operation; the Merge stages use this to read a
+        payload block and clear it with a single access (Alg. 2,
+        lines 21–23).
+        """
+        self._check_index(index)
+        self._note_access(ctx, is_write=True)
+        old_value = self._values[index]
+        self._values[index] = new_value
+        return old_value
+
+    # ------------------------------------------------------------------ #
+    # Control-plane access (unrestricted)
+    # ------------------------------------------------------------------ #
+
+    def peek(self, index: int) -> Any:
+        """Control-plane read that bypasses the access guard."""
+        self._check_index(index)
+        return self._values[index]
+
+    def poke(self, index: int, value: Any) -> None:
+        """Control-plane write that bypasses the access guard."""
+        self._check_index(index)
+        self._values[index] = value
+
+    def clear(self) -> None:
+        """Reset every entry to the initial value (control-plane only)."""
+        self._values = [self._initial] * self.size
+
+    def occupancy(self, is_occupied=lambda value: bool(value)) -> int:
+        """Count entries considered occupied by *is_occupied* (control plane)."""
+        return sum(1 for value in self._values if is_occupied(value))
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"register array {self.name!r}: index {index} out of range")
+
+    def _note_access(self, ctx: PipelinePacket, is_write: bool) -> None:
+        reads = ctx.register_reads.get(self.name, 0)
+        writes = ctx.register_writes.get(self.name, 0)
+        if self.enforce_single_access and (reads + writes) >= 1:
+            raise RegisterAccessError(
+                f"register array {self.name!r} accessed more than once for packet "
+                f"{ctx.packet.packet_id} in a single pipeline pass; RMT hardware "
+                f"permits a single stateful access per array per pass"
+            )
+        if is_write:
+            ctx.register_writes[self.name] = writes + 1
+        else:
+            ctx.register_reads[self.name] = reads + 1

@@ -1,0 +1,21 @@
+"""Telemetry: latency recording, goodput accounting and run reports.
+
+The paper's evaluation metrics are goodput (useful header bytes per
+second, measured from the switch's perspective), average end-to-end
+latency, PCIe bandwidth on the NF server, and a health criterion of a
+packet drop rate below 0.1 %.  This subpackage provides the recorders
+and report dataclasses the experiment runner fills in.
+"""
+
+from repro.telemetry.goodput import gbps, goodput_gain_percent
+from repro.telemetry.latency import LatencyRecorder
+from repro.telemetry.report import ComparisonReport, DeploymentReport, HEALTHY_DROP_RATE
+
+__all__ = [
+    "LatencyRecorder",
+    "gbps",
+    "goodput_gain_percent",
+    "DeploymentReport",
+    "ComparisonReport",
+    "HEALTHY_DROP_RATE",
+]

@@ -1,0 +1,24 @@
+"""Goodput arithmetic helpers."""
+
+from __future__ import annotations
+
+
+def gbps(byte_count: float, window_ns: float) -> float:
+    """Convert *byte_count* bytes over *window_ns* nanoseconds to Gb/s."""
+    if window_ns <= 0:
+        return 0.0
+    return byte_count * 8.0 / window_ns
+
+
+def goodput_gain_percent(payloadpark_gbps: float, baseline_gbps: float) -> float:
+    """Relative goodput gain of PayloadPark over the baseline, in percent."""
+    if baseline_gbps <= 0:
+        return 0.0
+    return (payloadpark_gbps - baseline_gbps) / baseline_gbps * 100.0
+
+
+def savings_percent(baseline_value: float, payloadpark_value: float) -> float:
+    """Relative reduction (e.g. PCIe bytes) achieved by PayloadPark, in percent."""
+    if baseline_value <= 0:
+        return 0.0
+    return (baseline_value - payloadpark_value) / baseline_value * 100.0

@@ -1,0 +1,148 @@
+"""Run reports: per-deployment metrics and PayloadPark-vs-baseline comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.telemetry.goodput import goodput_gain_percent, savings_percent
+
+#: The paper considers the system healthy while the drop rate stays below 0.1 %.
+HEALTHY_DROP_RATE = 0.001
+
+
+@dataclass
+class DeploymentReport:
+    """Metrics of one deployment (PayloadPark or baseline) at one operating point."""
+
+    deployment: str
+    send_rate_gbps: float
+    duration_ns: int
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+    goodput_to_nf_gbps: float = 0.0
+    delivered_goodput_gbps: float = 0.0
+    offered_gbps: float = 0.0
+    avg_latency_us: float = 0.0
+    p99_latency_us: float = 0.0
+    max_latency_us: float = 0.0
+    jitter_us: float = 0.0
+    pcie_gbps: float = 0.0
+    nf_packets_processed: int = 0
+    premature_evictions: int = 0
+    evictions: int = 0
+    splits: int = 0
+    merges: int = 0
+    explicit_drops: int = 0
+    split_disabled: int = 0
+    drop_breakdown: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered packets that never made it back."""
+        if self.packets_sent <= 0:
+            return 0.0
+        return self.packets_dropped / self.packets_sent
+
+    @property
+    def healthy(self) -> bool:
+        """True while the drop rate stays under the paper's 0.1 % threshold."""
+        return self.drop_rate < HEALTHY_DROP_RATE
+
+    @property
+    def functionally_equivalent(self) -> bool:
+        """Zero premature evictions — the prerequisite of §6.2.6."""
+        return self.premature_evictions == 0
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict used by the benchmark harness to print result rows."""
+        return {
+            "deployment": self.deployment,
+            "send_rate_gbps": round(self.send_rate_gbps, 3),
+            "goodput_gbps": round(self.goodput_to_nf_gbps, 4),
+            "delivered_goodput_gbps": round(self.delivered_goodput_gbps, 4),
+            "avg_latency_us": round(self.avg_latency_us, 2),
+            "p99_latency_us": round(self.p99_latency_us, 2),
+            "drop_rate": round(self.drop_rate, 5),
+            "pcie_gbps": round(self.pcie_gbps, 3),
+            "premature_evictions": self.premature_evictions,
+            "healthy": self.healthy,
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """PayloadPark vs. baseline at the same operating point."""
+
+    baseline: DeploymentReport
+    payloadpark: DeploymentReport
+
+    @property
+    def goodput_gain_percent(self) -> float:
+        """Goodput improvement of PayloadPark over the baseline."""
+        return goodput_gain_percent(
+            self.payloadpark.goodput_to_nf_gbps, self.baseline.goodput_to_nf_gbps
+        )
+
+    @property
+    def delivered_goodput_gain_percent(self) -> float:
+        """Gain measured on packets delivered back to the traffic generator."""
+        return goodput_gain_percent(
+            self.payloadpark.delivered_goodput_gbps, self.baseline.delivered_goodput_gbps
+        )
+
+    @property
+    def pcie_savings_percent(self) -> float:
+        """PCIe bandwidth saved by PayloadPark."""
+        return savings_percent(self.baseline.pcie_gbps, self.payloadpark.pcie_gbps)
+
+    @property
+    def latency_delta_us(self) -> float:
+        """PayloadPark latency minus baseline latency (negative = faster)."""
+        return self.payloadpark.avg_latency_us - self.baseline.avg_latency_us
+
+    @property
+    def latency_win_percent(self) -> float:
+        """Relative latency reduction of PayloadPark (positive = faster)."""
+        if self.baseline.avg_latency_us <= 0:
+            return 0.0
+        return -self.latency_delta_us / self.baseline.avg_latency_us * 100.0
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat comparison row for the benchmark harness."""
+        return {
+            "send_rate_gbps": round(self.baseline.send_rate_gbps, 3),
+            "baseline_goodput_gbps": round(self.baseline.goodput_to_nf_gbps, 4),
+            "payloadpark_goodput_gbps": round(self.payloadpark.goodput_to_nf_gbps, 4),
+            "goodput_gain_percent": round(self.goodput_gain_percent, 2),
+            "baseline_latency_us": round(self.baseline.avg_latency_us, 2),
+            "payloadpark_latency_us": round(self.payloadpark.avg_latency_us, 2),
+            "pcie_savings_percent": round(self.pcie_savings_percent, 2),
+        }
+
+
+def render_table(rows, columns=None) -> str:
+    """Render a list of dict rows as an aligned text table.
+
+    The benchmark harness prints these tables so each bench regenerates
+    the corresponding figure/table of the paper in textual form.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {column: len(str(column)) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Traffic generation: packet-size distributions, workloads and PktGen.
+
+The evaluation drives the testbed with a DPDK PktGen replaying either
+fixed-size UDP packets or a PCAP that reproduces the enterprise
+datacenter packet-size distribution of Benson et al. (bimodal, mean
+882 bytes, ≈ 30 % of packets too small to be split).  This subpackage
+provides those size distributions, the flow population, and the packet
+factory used by the traffic-generator node.
+"""
+
+from repro.traffic.distributions import (
+    EmpiricalDistribution,
+    FixedSizeDistribution,
+    PacketSizeDistribution,
+    enterprise_datacenter_distribution,
+)
+from repro.traffic.pktgen import PktGenConfig, PacketFactory
+from repro.traffic.workload import Workload
+
+__all__ = [
+    "PacketSizeDistribution",
+    "FixedSizeDistribution",
+    "EmpiricalDistribution",
+    "enterprise_datacenter_distribution",
+    "Workload",
+    "PktGenConfig",
+    "PacketFactory",
+]

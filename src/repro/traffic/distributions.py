@@ -1,0 +1,151 @@
+"""Packet-size distributions.
+
+Fig. 6 of the paper shows the CDF of the packet sizes used to simulate
+an enterprise datacenter traffic pattern, reproduced from Benson et
+al.'s IMC'10 measurement study: a bimodal distribution with an average
+packet size of 882 bytes in which roughly 30 % of packets carry fewer
+than 160 payload bytes (and therefore are not split by PayloadPark).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES
+
+#: Smallest Ethernet frame we generate (headers only would be 42 bytes,
+#: but the classic minimum frame size is 64).
+MIN_FRAME_BYTES = 64
+MAX_FRAME_BYTES = 1514
+
+
+class PacketSizeDistribution:
+    """Base class: sample frame sizes (Ethernet through payload, in bytes)."""
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one frame size."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected frame size (used for rate → pps conversions and reports)."""
+        raise NotImplementedError
+
+    def cdf_points(self) -> List[Tuple[int, float]]:
+        """Return ``(size, cumulative probability)`` pairs for plotting (Fig. 6)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedSizeDistribution(PacketSizeDistribution):
+    """Every frame has the same size (the fixed-size experiments of §6.2.2)."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if not MIN_FRAME_BYTES <= self.size <= MAX_FRAME_BYTES:
+            raise ValueError(
+                f"frame size must be within [{MIN_FRAME_BYTES}, {MAX_FRAME_BYTES}], "
+                f"got {self.size}"
+            )
+
+    def sample(self, rng: random.Random) -> int:
+        return self.size
+
+    def mean(self) -> float:
+        return float(self.size)
+
+    def cdf_points(self) -> List[Tuple[int, float]]:
+        return [(self.size - 1, 0.0), (self.size, 1.0)]
+
+
+class EmpiricalDistribution(PacketSizeDistribution):
+    """A discrete mixture described by ``(size, probability)`` pairs."""
+
+    def __init__(self, points: Sequence[Tuple[int, float]]) -> None:
+        if not points:
+            raise ValueError("an empirical distribution needs at least one point")
+        total = sum(weight for _size, weight in points)
+        if total <= 0:
+            raise ValueError("probabilities must sum to a positive value")
+        self._sizes: List[int] = []
+        self._cumulative: List[float] = []
+        running = 0.0
+        for size, weight in sorted(points):
+            if weight < 0:
+                raise ValueError("probabilities cannot be negative")
+            if not MIN_FRAME_BYTES <= size <= MAX_FRAME_BYTES:
+                raise ValueError(f"size {size} outside [{MIN_FRAME_BYTES}, {MAX_FRAME_BYTES}]")
+            running += weight / total
+            self._sizes.append(size)
+            self._cumulative.append(running)
+        self._cumulative[-1] = 1.0
+
+    def sample(self, rng: random.Random) -> int:
+        position = rng.random()
+        index = bisect.bisect_left(self._cumulative, position)
+        index = min(index, len(self._sizes) - 1)
+        return self._sizes[index]
+
+    def mean(self) -> float:
+        previous = 0.0
+        expectation = 0.0
+        for size, cumulative in zip(self._sizes, self._cumulative):
+            expectation += size * (cumulative - previous)
+            previous = cumulative
+        return expectation
+
+    def cdf_points(self) -> List[Tuple[int, float]]:
+        return list(zip(self._sizes, self._cumulative))
+
+    def fraction_below(self, frame_size: int) -> float:
+        """Fraction of packets strictly smaller than *frame_size* bytes."""
+        fraction = 0.0
+        for size, cumulative in zip(self._sizes, self._cumulative):
+            if size < frame_size:
+                fraction = cumulative
+            else:
+                break
+        return fraction
+
+
+def enterprise_datacenter_distribution() -> EmpiricalDistribution:
+    """The Benson-style enterprise datacenter packet-size mix (Fig. 6).
+
+    The mixture is bimodal: a cluster of small control-sized frames
+    (64–200 bytes, ≈ 30 % of packets — these have payloads under 160
+    bytes and are not split), a thin band of mid-sized frames, and a
+    heavy cluster of near-MTU frames.  The mean is ≈ 882 bytes, matching
+    the paper's reported average.
+    """
+    points: List[Tuple[int, float]] = []
+    # Small frames: 30 % of packets spread over 64..198 bytes.
+    small_sizes = [64, 90, 120, 150, 180, 198]
+    for size in small_sizes:
+        points.append((size, 0.30 / len(small_sizes)))
+    # Mid-sized frames: 17 % spread over 250..1000 bytes.
+    mid_sizes = [250, 400, 550, 700, 850, 1000]
+    for size in mid_sizes:
+        points.append((size, 0.17 / len(mid_sizes)))
+    # Large frames: 53 % concentrated near the MTU.
+    large_sizes = [(1340, 0.23), (1400, 0.20), (1500, 0.10)]
+    for size, weight in large_sizes:
+        points.append((size, weight))
+    return EmpiricalDistribution(points)
+
+
+def split_eligible_fraction(distribution: PacketSizeDistribution,
+                            min_split_payload: int = 160) -> float:
+    """Fraction of frames whose payload is large enough to be split."""
+    threshold = ETHERNET_UDP_HEADER_BYTES + min_split_payload
+    points = distribution.cdf_points()
+    previous = 0.0
+    eligible = 0.0
+    for size, cumulative in points:
+        weight = cumulative - previous
+        if size >= threshold:
+            eligible += weight
+        previous = cumulative
+    return eligible

@@ -1,0 +1,102 @@
+"""PktGen: configuration and packet factory for the traffic generator.
+
+The paper's traffic generator is DPDK PktGen saturating the NF server
+with UDP packets through two switch ports.  :class:`PktGenConfig`
+captures the offered rate, burstiness and workload;
+:class:`PacketFactory` builds the actual frames deterministically from a
+seed so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.packet.ipv4 import IPv4Address
+from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES, Packet
+from repro.traffic.workload import BLACKLISTED_SUBNET, Workload
+
+#: A reusable payload pattern; slices of it fill every generated frame so
+#: the generator does not allocate fresh payload bytes per packet.
+_PAYLOAD_PATTERN = bytes(range(256)) * 8
+
+
+@dataclass
+class PktGenConfig:
+    """Offered-load description for one traffic generator.
+
+    Attributes
+    ----------
+    rate_gbps:
+        Offered load in gigabits of L2 frame bytes per second.
+    workload:
+        Frame sizes, flow population and blacklist fraction.
+    burst_size:
+        Packets emitted back-to-back per generation event (DPDK PktGen
+        transmits in bursts; burstiness also shapes queueing downstream).
+    seed:
+        Seed for the size/flow sampling RNG.
+    src_mac / dst_mac:
+        Ethernet addresses stamped on generated frames (the destination
+        is the traffic generator's own sink MAC so merged packets return
+        to it, as in the paper's measurement loop).
+    """
+
+    rate_gbps: float
+    workload: Workload
+    burst_size: int = 32
+    seed: int = 42
+    src_mac: str = "02:00:00:00:00:01"
+    dst_mac: str = "02:00:00:00:00:02"
+
+    def __post_init__(self) -> None:
+        if self.rate_gbps <= 0:
+            raise ValueError("rate_gbps must be positive")
+        if self.burst_size <= 0:
+            raise ValueError("burst_size must be positive")
+
+
+class PacketFactory:
+    """Deterministically builds frames according to a :class:`PktGenConfig`."""
+
+    def __init__(self, config: PktGenConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._flows = config.workload.flows.flows()
+        self._flow_cursor = 0
+        self._blacklist_base = IPv4Address.from_string(BLACKLISTED_SUBNET).value
+        self.packets_built = 0
+
+    def next_packet(self) -> Packet:
+        """Build the next frame (size, flow and blacklist marking)."""
+        workload = self.config.workload
+        size = workload.sizes.sample(self._rng)
+        size = max(size, ETHERNET_UDP_HEADER_BYTES)
+        flow = self._flows[self._flow_cursor]
+        self._flow_cursor = (self._flow_cursor + 1) % len(self._flows)
+
+        src_ip = flow.src_ip
+        if workload.blacklisted_fraction > 0 and self._rng.random() < workload.blacklisted_fraction:
+            # Steer this packet into the firewall's blacklisted subnet.
+            src_ip = IPv4Address(self._blacklist_base + (self.packets_built % 65_000) + 1)
+
+        payload_len = size - ETHERNET_UDP_HEADER_BYTES
+        payload = _PAYLOAD_PATTERN[:payload_len]
+        if len(payload) < payload_len:
+            payload = (_PAYLOAD_PATTERN * (payload_len // len(_PAYLOAD_PATTERN) + 1))[:payload_len]
+        packet = Packet.udp(
+            src_mac=self.config.src_mac,
+            dst_mac=self.config.dst_mac,
+            src_ip=str(src_ip),
+            dst_ip=str(flow.dst_ip),
+            src_port=flow.src_port,
+            dst_port=flow.dst_port,
+            payload=payload,
+        )
+        self.packets_built += 1
+        return packet
+
+    def burst_bytes_estimate(self) -> float:
+        """Expected L2 bytes per burst, used to pace generation events."""
+        return self.config.burst_size * self.config.workload.mean_frame_bytes()

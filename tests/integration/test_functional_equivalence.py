@@ -1,0 +1,32 @@
+"""Integration tests for §6.2.6: PayloadPark is transparent to end hosts."""
+
+import pytest
+
+from repro.experiments import functional_equivalence
+from repro.packet.pcap import read_pcap
+
+
+class TestFunctionalEquivalence:
+    def test_payloadpark_and_baseline_produce_identical_packets(self):
+        report = functional_equivalence.run(packet_count=800)
+        assert report["identical"]
+        assert report["mismatches"] == 0
+        assert report["packets_compared"] == 800
+        assert report["premature_evictions"] == 0
+
+    def test_split_and_merge_counts_balance(self):
+        report = functional_equivalence.run(packet_count=500)
+        assert report["splits"] == report["merges"]
+        # The enterprise mix has ~30 % small packets that are never split.
+        small_fraction = report["split_disabled_small_payload"] / report["packets_compared"]
+        assert 0.2 < small_fraction < 0.4
+
+    def test_pcap_capture_matches(self, tmp_path):
+        prefix = str(tmp_path / "equiv")
+        report = functional_equivalence.run(packet_count=200, pcap_prefix=prefix)
+        assert report["identical"]
+        payloadpark = read_pcap(f"{prefix}-payloadpark.pcap")
+        baseline = read_pcap(f"{prefix}-baseline.pcap")
+        assert len(payloadpark) == len(baseline) == 200
+        for pp_record, base_record in zip(payloadpark, baseline):
+            assert pp_record.data == base_record.data

@@ -1,0 +1,86 @@
+"""Property-based tests for NF invariants (NAT, Maglev, firewall)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nf.firewall import Firewall, FirewallRule
+from repro.nf.loadbalancer import MaglevLoadBalancer
+from repro.nf.nat import Nat
+from repro.packet.flows import FiveTuple
+from repro.packet.ipv4 import PROTO_UDP, IPv4Address
+from repro.packet.packet import Packet
+
+flow_strategy = st.builds(
+    FiveTuple,
+    src_ip=st.builds(IPv4Address, st.integers(min_value=1, max_value=0xFFFFFFFE)),
+    dst_ip=st.builds(IPv4Address, st.integers(min_value=1, max_value=0xFFFFFFFE)),
+    protocol=st.just(PROTO_UDP),
+    src_port=st.integers(min_value=1, max_value=65_535),
+    dst_port=st.integers(min_value=1, max_value=65_535),
+)
+
+
+class TestMaglevProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=12))
+    def test_table_always_fully_populated(self, backend_count):
+        lb = MaglevLoadBalancer.with_backend_count(backend_count, table_size=101)
+        assert len(lb.lookup_table) == 101
+        assert set(lb.lookup_table) <= set(range(backend_count))
+        assert len(set(lb.lookup_table)) == backend_count
+
+    @settings(max_examples=40, deadline=None)
+    @given(flow_strategy)
+    def test_same_flow_same_backend(self, flow):
+        lb = MaglevLoadBalancer.with_backend_count(6, table_size=101)
+        assert lb.backend_for(flow) == lb.backend_for(flow)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=8))
+    def test_load_spread_is_bounded(self, backend_count):
+        lb = MaglevLoadBalancer.with_backend_count(backend_count, table_size=211)
+        assert lb.load_imbalance() <= 1.5
+
+
+class TestNatProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(flow_strategy, min_size=1, max_size=40, unique=True))
+    def test_distinct_flows_never_share_external_port(self, flows):
+        nat = Nat()
+        ports = [nat.binding_for(flow).external_port for flow in flows]
+        assert len(set(ports)) == len(flows)
+
+    @settings(max_examples=30, deadline=None)
+    @given(flow_strategy)
+    def test_binding_is_stable(self, flow):
+        nat = Nat()
+        assert nat.binding_for(flow) == nat.binding_for(flow)
+        assert nat.active_bindings == 1
+
+
+class TestFirewallProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=8, max_value=32),
+    )
+    def test_prefix_match_consistent_with_subnet_check(self, octet3, octet4, prefix_len):
+        rule = FirewallRule(
+            network=IPv4Address.from_string("192.168.0.0"), prefix_len=prefix_len
+        )
+        firewall = Firewall(rules=[rule])
+        address = f"192.168.{octet3}.{octet4}"
+        packet = Packet.udp(src_ip=address, total_size=128)
+        expected_drop = IPv4Address.from_string(address).in_subnet(
+            IPv4Address.from_string("192.168.0.0"), prefix_len
+        )
+        assert firewall(packet).forwarded != expected_drop
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=64))
+    def test_cycle_cost_monotone_in_rule_count(self, rule_count):
+        small = Firewall.with_rule_count(rule_count)
+        larger = Firewall.with_rule_count(rule_count + 10)
+        packet = Packet.udp(total_size=128)
+        assert larger(packet).cycles >= small(packet).cycles

@@ -1,0 +1,99 @@
+"""Property-based tests for the packet substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packet.checksum import internet_checksum, verify_internet_checksum
+from repro.packet.crc import crc16, crc32
+from repro.packet.ethernet import EthernetHeader, MacAddress
+from repro.packet.ipv4 import IPv4Address, IPv4Header
+from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES, Packet
+from repro.packet.udp import UdpHeader
+
+ip_strings = st.builds(
+    lambda a, b, c, d: f"{a}.{b}.{c}.{d}",
+    *(st.integers(min_value=0, max_value=255) for _ in range(4)),
+)
+ports = st.integers(min_value=0, max_value=65_535)
+frame_sizes = st.integers(min_value=ETHERNET_UDP_HEADER_BYTES, max_value=1514)
+
+
+class TestChecksumProperties:
+    @given(st.binary(min_size=0, max_size=256))
+    def test_checksum_with_itself_appended_verifies(self, data):
+        # Real protocols place the checksum at a 16-bit boundary, so pad
+        # odd-length data before appending it.
+        if len(data) % 2:
+            data += b"\x00"
+        checksum = internet_checksum(data)
+        assert verify_internet_checksum(data + checksum.to_bytes(2, "big"))
+
+    @given(st.binary(min_size=0, max_size=256))
+    def test_checksum_in_16_bit_range(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=63))
+    def test_crc16_detects_any_single_byte_change(self, data, index):
+        index %= len(data)
+        mutated = bytearray(data)
+        mutated[index] ^= 0xA5
+        assert crc16(bytes(mutated)) != crc16(data)
+
+    @given(st.binary(min_size=0, max_size=128))
+    def test_crc32_deterministic(self, data):
+        assert crc32(data) == crc32(data)
+
+
+class TestHeaderRoundTrips:
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_mac_round_trip(self, value):
+        mac = MacAddress(value)
+        assert MacAddress.from_string(str(mac)) == mac
+        assert MacAddress.from_bytes(mac.to_bytes()) == mac
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_ipv4_address_round_trip(self, value):
+        address = IPv4Address(value)
+        assert IPv4Address.from_string(str(address)) == address
+
+    @given(ip_strings, ip_strings, st.integers(min_value=20, max_value=1500))
+    def test_ipv4_header_round_trip(self, src, dst, total_length):
+        header = IPv4Header(
+            src=IPv4Address.from_string(src),
+            dst=IPv4Address.from_string(dst),
+            total_length=total_length,
+        )
+        parsed = IPv4Header.from_bytes(header.to_bytes())
+        assert (parsed.src, parsed.dst, parsed.total_length) == (
+            header.src,
+            header.dst,
+            header.total_length,
+        )
+
+    @given(ports, ports, st.integers(min_value=8, max_value=1480))
+    def test_udp_round_trip(self, sport, dport, length):
+        header = UdpHeader(src_port=sport, dst_port=dport, length=length)
+        assert UdpHeader.from_bytes(header.to_bytes()) == header
+
+
+class TestPacketProperties:
+    @settings(max_examples=50)
+    @given(ip_strings, ip_strings, ports, ports, frame_sizes)
+    def test_serialization_round_trip(self, src, dst, sport, dport, size):
+        packet = Packet.udp(
+            src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport, total_size=size
+        )
+        raw = packet.to_bytes()
+        assert len(raw) == size
+        assert Packet.from_bytes(raw).to_bytes() == raw
+
+    @settings(max_examples=50)
+    @given(frame_sizes, st.integers(min_value=0, max_value=1472))
+    def test_park_restore_is_identity(self, size, parked_bytes):
+        packet = Packet.udp(total_size=size)
+        parked_bytes = min(parked_bytes, packet.payload_length)
+        original = packet.to_bytes()
+        parked = packet.park_leading_payload(parked_bytes)
+        assert packet.wire_length == size - parked_bytes
+        packet.restore_leading_payload(parked)
+        assert packet.to_bytes() == original

@@ -1,0 +1,58 @@
+"""Unit tests for the Internet checksum and CRC helpers."""
+
+import pytest
+
+from repro.packet.checksum import internet_checksum, ones_complement_sum, verify_internet_checksum
+from repro.packet.crc import crc16, crc32
+
+
+class TestInternetChecksum:
+    def test_known_vector(self):
+        # Classic RFC 1071 example header fragment.
+        data = bytes.fromhex("45000073000040004011b861c0a80001c0a800c7")
+        assert internet_checksum(bytes.fromhex("450000730000400040110000c0a80001c0a800c7")) == 0xB861
+        assert verify_internet_checksum(data)
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_verify_detects_corruption(self):
+        data = bytearray(bytes.fromhex("45000073000040004011b861c0a80001c0a800c7"))
+        data[0] ^= 0xFF
+        assert not verify_internet_checksum(bytes(data))
+
+    def test_incremental_equals_one_shot(self):
+        first, second = b"hello wo", b"rld!"
+        partial = ones_complement_sum(first)
+        combined = ones_complement_sum(second, initial=partial)
+        assert (~combined & 0xFFFF) == internet_checksum(first + second)
+
+    def test_checksum_in_range(self):
+        value = internet_checksum(bytes(range(200)))
+        assert 0 <= value <= 0xFFFF
+
+
+class TestCrc:
+    def test_crc16_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_crc32_known_vector(self):
+        # CRC-32 (IEEE) of "123456789" is 0xCBF43926.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_crc16_detects_single_bit_flip(self):
+        data = bytearray(b"payloadpark-tag")
+        original = crc16(bytes(data))
+        data[3] ^= 0x01
+        assert crc16(bytes(data)) != original
+
+    def test_crc_empty_input(self):
+        assert crc16(b"") == 0xFFFF
+        assert crc32(b"") == 0x00000000
+
+    def test_crc16_is_deterministic(self):
+        assert crc16(b"abc") == crc16(b"abc")

@@ -1,0 +1,39 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestCli:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_run_executes_cheap_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Packet Header Vector" in output
+
+    def test_run_fig06(self, capsys):
+        assert main(["run", "fig06"]) == 0
+        assert "packet_size_bytes" in capsys.readouterr().out
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_parser_has_quickstart_rate_option(self):
+        parser = build_parser()
+        args = parser.parse_args(["quickstart", "--rate", "8.5"])
+        assert args.rate == 8.5
+
+    def test_registry_covers_every_figure_and_table(self):
+        expected = {f"fig{number:02d}" for number in range(6, 17)} | {"table1", "equivalence"}
+        assert expected == set(EXPERIMENTS)

@@ -1,0 +1,83 @@
+"""Unit tests for 5-tuple flows and the PCAP reader/writer."""
+
+import pytest
+
+from repro.packet.flows import FiveTuple, FlowGenerator
+from repro.packet.ipv4 import PROTO_UDP, IPv4Address
+from repro.packet.packet import Packet
+from repro.packet.pcap import PcapReader, read_pcap, write_pcap
+
+
+def _tuple(src="10.0.0.1", dst="10.0.0.2", sport=1000, dport=2000):
+    return FiveTuple(
+        src_ip=IPv4Address.from_string(src),
+        dst_ip=IPv4Address.from_string(dst),
+        protocol=PROTO_UDP,
+        src_port=sport,
+        dst_port=dport,
+    )
+
+
+class TestFiveTuple:
+    def test_reversed_swaps_endpoints(self):
+        flow = _tuple()
+        rev = flow.reversed()
+        assert rev.src_ip == flow.dst_ip and rev.dst_port == flow.src_port
+        assert rev.reversed() == flow
+
+    def test_stable_hash_is_deterministic_and_spreads(self):
+        flow = _tuple()
+        assert flow.stable_hash() == _tuple().stable_hash()
+        other = _tuple(sport=1001)
+        assert flow.stable_hash() != other.stable_hash()
+
+    def test_str_contains_ports(self):
+        assert "1000" in str(_tuple())
+
+
+class TestFlowGenerator:
+    def test_generates_requested_count(self):
+        generator = FlowGenerator(flow_count=100)
+        flows = generator.flows()
+        assert len(flows) == 100
+        assert len(set(flows)) == 100
+
+    def test_flow_index_wraps(self):
+        generator = FlowGenerator(flow_count=10)
+        assert generator.flow(3) == generator.flow(13)
+
+    def test_round_robin_cycles(self):
+        generator = FlowGenerator(flow_count=4)
+        iterator = generator.round_robin()
+        first_cycle = [next(iterator) for _ in range(4)]
+        second_cycle = [next(iterator) for _ in range(4)]
+        assert first_cycle == second_cycle
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            FlowGenerator(flow_count=0)
+
+
+class TestPcap:
+    def test_write_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "sample.pcap"
+        frames = [(0.001 * i, Packet.udp(total_size=100 + i).to_bytes()) for i in range(5)]
+        assert write_pcap(path, frames) == 5
+        records = read_pcap(path)
+        assert len(records) == 5
+        for (timestamp, data), record in zip(frames, records):
+            assert record.data == data
+            assert record.timestamp == pytest.approx(timestamp, abs=1e-6)
+
+    def test_reader_rejects_non_pcap(self, tmp_path):
+        path = tmp_path / "garbage.pcap"
+        path.write_bytes(b"not a pcap file at all........")
+        with pytest.raises(ValueError):
+            PcapReader(path)
+
+    def test_reader_exposes_linktype(self, tmp_path):
+        path = tmp_path / "meta.pcap"
+        write_pcap(path, [(0.0, b"\x00" * 60)])
+        with PcapReader(path) as reader:
+            assert reader.linktype == 1
+            assert reader.snaplen >= 60

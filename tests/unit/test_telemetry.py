@@ -1,0 +1,112 @@
+"""Unit tests for telemetry: latency recorder, goodput math and reports."""
+
+import pytest
+
+from repro.telemetry.goodput import gbps, goodput_gain_percent, savings_percent
+from repro.telemetry.latency import LatencyRecorder
+from repro.telemetry.report import (
+    ComparisonReport,
+    DeploymentReport,
+    HEALTHY_DROP_RATE,
+    render_table,
+)
+
+
+class TestLatencyRecorder:
+    def test_mean_and_percentiles(self):
+        recorder = LatencyRecorder()
+        for value in (1_000, 2_000, 3_000, 4_000, 100_000):
+            recorder.record(value)
+        assert recorder.mean_us() == pytest.approx(22.0)
+        assert recorder.max_us() == pytest.approx(100.0)
+        assert recorder.percentile_us(50) == pytest.approx(3.0)
+        assert recorder.jitter_us() == pytest.approx(78.0)
+
+    def test_empty_recorder_returns_zero(self):
+        recorder = LatencyRecorder()
+        assert recorder.mean_us() == 0.0
+        assert recorder.percentile_us(99) == 0.0
+
+    def test_rejects_negative_and_bad_percentile(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.record(-1)
+        with pytest.raises(ValueError):
+            recorder.percentile_us(0)
+
+    def test_since_excludes_warmup_samples(self):
+        recorder = LatencyRecorder()
+        for value in (1_000, 1_000, 50_000, 50_000):
+            recorder.record(value)
+        steady = recorder.since(2)
+        assert steady.count == 2
+        assert steady.mean_us() == pytest.approx(50.0)
+
+    def test_summary_keys(self):
+        recorder = LatencyRecorder()
+        recorder.record(5_000)
+        summary = recorder.summary()
+        assert set(summary) == {"mean_us", "p50_us", "p99_us", "max_us", "jitter_us", "samples"}
+
+
+class TestGoodputMath:
+    def test_gbps_conversion(self):
+        assert gbps(125, 1_000) == pytest.approx(1.0)
+        assert gbps(100, 0) == 0.0
+
+    def test_gain_and_savings(self):
+        assert goodput_gain_percent(1.3, 1.0) == pytest.approx(30.0)
+        assert goodput_gain_percent(1.0, 0.0) == 0.0
+        assert savings_percent(10.0, 9.0) == pytest.approx(10.0)
+        assert savings_percent(0.0, 1.0) == 0.0
+
+
+class TestReports:
+    def _report(self, deployment="baseline", **kwargs):
+        defaults = dict(
+            deployment=deployment,
+            send_rate_gbps=10.0,
+            duration_ns=1_000_000,
+            packets_sent=10_000,
+            packets_delivered=10_000,
+            packets_dropped=0,
+            goodput_to_nf_gbps=0.5,
+            avg_latency_us=30.0,
+            pcie_gbps=10.0,
+        )
+        defaults.update(kwargs)
+        return DeploymentReport(**defaults)
+
+    def test_drop_rate_and_health(self):
+        healthy = self._report(packets_dropped=5)
+        unhealthy = self._report(packets_dropped=100)
+        assert healthy.drop_rate < HEALTHY_DROP_RATE and healthy.healthy
+        assert not unhealthy.healthy
+
+    def test_functional_equivalence_flag(self):
+        assert self._report().functionally_equivalent
+        assert not self._report(premature_evictions=3).functionally_equivalent
+
+    def test_comparison_gain_and_savings(self):
+        comparison = ComparisonReport(
+            baseline=self._report(goodput_to_nf_gbps=0.5, pcie_gbps=10.0, avg_latency_us=30.0),
+            payloadpark=self._report(
+                deployment="payloadpark",
+                goodput_to_nf_gbps=0.6,
+                pcie_gbps=8.8,
+                avg_latency_us=27.0,
+            ),
+        )
+        assert comparison.goodput_gain_percent == pytest.approx(20.0)
+        assert comparison.pcie_savings_percent == pytest.approx(12.0)
+        assert comparison.latency_delta_us == pytest.approx(-3.0)
+        assert comparison.latency_win_percent == pytest.approx(10.0)
+
+    def test_rows_render_as_table(self):
+        comparison = ComparisonReport(baseline=self._report(), payloadpark=self._report())
+        text = render_table([comparison.as_row()])
+        assert "send_rate_gbps" in text
+        assert "|" in text
+
+    def test_render_table_empty(self):
+        assert render_table([]) == "(no data)"

@@ -1,0 +1,125 @@
+"""Unit tests for traffic distributions, workloads and the packet factory."""
+
+import random
+
+import pytest
+
+from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES
+from repro.traffic.distributions import (
+    EmpiricalDistribution,
+    FixedSizeDistribution,
+    enterprise_datacenter_distribution,
+    split_eligible_fraction,
+)
+from repro.traffic.pktgen import PacketFactory, PktGenConfig
+from repro.traffic.workload import Workload
+
+
+class TestDistributions:
+    def test_fixed_size_always_returns_size(self):
+        distribution = FixedSizeDistribution(512)
+        rng = random.Random(0)
+        assert {distribution.sample(rng) for _ in range(10)} == {512}
+        assert distribution.mean() == 512
+
+    def test_fixed_size_validates_range(self):
+        with pytest.raises(ValueError):
+            FixedSizeDistribution(10)
+        with pytest.raises(ValueError):
+            FixedSizeDistribution(5000)
+
+    def test_empirical_cdf_monotone_and_normalized(self):
+        distribution = EmpiricalDistribution([(100, 0.5), (1000, 0.5)])
+        points = distribution.cdf_points()
+        assert points[-1][1] == pytest.approx(1.0)
+        assert points == sorted(points)
+
+    def test_empirical_mean(self):
+        distribution = EmpiricalDistribution([(100, 0.5), (300, 0.5)])
+        assert distribution.mean() == pytest.approx(200.0)
+
+    def test_empirical_sampling_matches_weights(self):
+        distribution = EmpiricalDistribution([(100, 0.2), (1000, 0.8)])
+        rng = random.Random(1)
+        samples = [distribution.sample(rng) for _ in range(5000)]
+        large_fraction = sum(1 for size in samples if size == 1000) / len(samples)
+        assert large_fraction == pytest.approx(0.8, abs=0.03)
+
+    def test_empirical_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([(100, -1.0)])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([(10, 1.0)])
+
+    def test_enterprise_distribution_matches_paper_statistics(self):
+        distribution = enterprise_datacenter_distribution()
+        assert distribution.mean() == pytest.approx(882, abs=25)
+        small = distribution.fraction_below(ETHERNET_UDP_HEADER_BYTES + 160)
+        assert small == pytest.approx(0.30, abs=0.03)
+        assert split_eligible_fraction(distribution) == pytest.approx(0.70, abs=0.03)
+
+
+class TestWorkload:
+    def test_fixed_size_workload_pps(self):
+        workload = Workload.fixed_size(500)
+        assert workload.packets_per_second(4.0) == pytest.approx(1e6, rel=1e-3)
+
+    def test_useful_fraction(self):
+        workload = Workload.fixed_size(420)
+        assert workload.useful_fraction() == pytest.approx(0.1)
+
+    def test_blacklist_fraction_validation(self):
+        with pytest.raises(ValueError):
+            Workload.fixed_size(500, blacklisted_fraction=1.5)
+
+    def test_pcap_export_and_reimport(self, tmp_path):
+        workload = Workload.enterprise()
+        path = tmp_path / "enterprise.pcap"
+        assert workload.export_pcap(path, packet_count=200) == 200
+        reloaded = Workload.from_pcap(path)
+        assert reloaded.mean_frame_bytes() == pytest.approx(
+            workload.mean_frame_bytes(), rel=0.15
+        )
+
+
+class TestPacketFactory:
+    def _factory(self, **workload_kwargs):
+        workload = Workload.enterprise(**workload_kwargs)
+        return PacketFactory(PktGenConfig(rate_gbps=10.0, workload=workload, seed=3))
+
+    def test_deterministic_given_seed(self):
+        first = self._factory()
+        second = self._factory()
+        for _ in range(20):
+            assert first.next_packet().to_bytes() == second.next_packet().to_bytes()
+
+    def test_sizes_follow_workload(self):
+        factory = PacketFactory(
+            PktGenConfig(rate_gbps=10.0, workload=Workload.fixed_size(384), seed=1)
+        )
+        assert {factory.next_packet().wire_length for _ in range(10)} == {384}
+
+    def test_blacklisted_fraction_marks_sources(self):
+        factory = self._factory(blacklisted_fraction=0.5)
+        blacklisted = 0
+        for _ in range(400):
+            packet = factory.next_packet()
+            if str(packet.ip.src).startswith("192.168."):
+                blacklisted += 1
+        assert 0.4 < blacklisted / 400 < 0.6
+
+    def test_flows_cycle_round_robin(self):
+        factory = self._factory()
+        flow_count = factory.config.workload.flows.flow_count
+        first = factory.next_packet().five_tuple()
+        for _ in range(flow_count - 1):
+            factory.next_packet()
+        assert factory.next_packet().five_tuple().dst_ip == first.dst_ip
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PktGenConfig(rate_gbps=0, workload=Workload.fixed_size(256))
+        with pytest.raises(ValueError):
+            PktGenConfig(rate_gbps=1.0, workload=Workload.fixed_size(256), burst_size=0)
