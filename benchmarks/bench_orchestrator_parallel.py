@@ -1,0 +1,62 @@
+"""Benchmark: orchestrator multi-process fan-out vs. serial execution.
+
+Runs the same 8-point comparison campaign twice — serial in-process and
+over a worker pool — and reports the wall-clock speedup.  Each grid
+point owns a private event loop, so the sweep is embarrassingly parallel
+and the speedup should approach ``min(workers, points)`` on an idle
+multi-core machine (pool startup and result pickling are the overheads).
+"""
+
+import multiprocessing
+import sys
+import time
+
+from _harness import BENCH_TIME_SCALE
+
+from repro.orchestrator import CampaignExecutor, CampaignSpec
+
+#: Worker processes used for the parallel leg.
+WORKERS = min(4, multiprocessing.cpu_count())
+
+
+def _campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="bench-orchestrator-parallel",
+        scenario="fw_nat_lb_10ge",
+        grid={
+            "send_rate_gbps": [4.0, 6.0, 8.0, 10.5],
+            "expiry_threshold": [1, 10],
+        },
+        time_scale=BENCH_TIME_SCALE,
+    )
+
+
+def _timed_run(workers: int) -> float:
+    campaign = _campaign()
+    started = time.perf_counter()
+    summary = CampaignExecutor(workers=workers).run_campaign(campaign)
+    elapsed = time.perf_counter() - started
+    assert summary.executed == campaign.point_count
+    assert summary.failed == 0
+    return elapsed
+
+def test_orchestrator_parallel_speedup(benchmark):
+    serial_s = _timed_run(workers=1)
+    parallel_s = benchmark.pedantic(
+        lambda: _timed_run(workers=WORKERS), rounds=1, iterations=1
+    )
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    sys.__stdout__.write(
+        f"\nOrchestrator 8-point sweep: serial {serial_s:.2f}s, "
+        f"{WORKERS} workers {parallel_s:.2f}s, speedup {speedup:.2f}x\n"
+    )
+    sys.__stdout__.flush()
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    # Speedup is only observable with real cores to spread across.
+    if multiprocessing.cpu_count() >= 4:
+        assert speedup > 1.5
+    elif multiprocessing.cpu_count() >= 2:
+        assert speedup > 1.1

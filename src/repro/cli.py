@@ -4,17 +4,27 @@ Usage::
 
     python -m repro list                     # show available experiments
     python -m repro run fig07                # regenerate Fig. 7
-    python -m repro run table1
+    python -m repro run fig07 --json         # machine-readable rows
+    python -m repro run fig06 --seed 3       # reproducible sampling
     python -m repro quickstart --rate 10.5   # one-off comparison
+    python -m repro campaign run sweep.yaml  # parallel declarative sweep
+    python -m repro campaign status sweep.yaml
+    python -m repro campaign report sweep.yaml
 
-The CLI is a thin wrapper over the modules in :mod:`repro.experiments`;
-each experiment prints the same rows the corresponding benchmark does.
+The ``run``/``quickstart`` commands are thin wrappers over the modules in
+:mod:`repro.experiments`; ``campaign`` drives the
+:mod:`repro.orchestrator` subsystem (grid expansion, multi-process
+execution, resumable JSONL result store).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
+from contextlib import nullcontext
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
@@ -32,6 +42,7 @@ from repro.experiments import (
     functional_equivalence,
     table1_resources,
 )
+from repro.experiments.runner import default_seed
 
 #: Experiment name → (description, main-function) registry.
 EXPERIMENTS: Dict[str, tuple] = {
@@ -50,6 +61,23 @@ EXPERIMENTS: Dict[str, tuple] = {
     "equivalence": ("Functional equivalence check (§6.2.6)", functional_equivalence.main),
 }
 
+#: Experiment name → function returning JSON-serializable result data.
+JSON_RUNNERS: Dict[str, Callable] = {
+    "fig06": fig06_packet_size_cdf.run,
+    "fig07": fig07_goodput_latency.run,
+    "fig08": fig08_fixed_sizes.run,
+    "fig09": fig09_pcie.run,
+    "fig10": fig10_multi_server.run,
+    "fig11": fig11_multi_server_latency.run,
+    "fig12": fig12_explicit_drops.run,
+    "fig13": fig13_recirculation.run,
+    "fig14": fig14_memory_sweep.run,
+    "fig15": fig15_nf_cycles.run,
+    "fig16": fig16_small_packets.run,
+    "table1": table1_resources.run,
+    "equivalence": functional_equivalence.run,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
@@ -63,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one experiment by name")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run_parser.add_argument(
+        "--json", action="store_true", help="emit the experiment's rows as JSON"
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the default simulation seed for reproducible runs",
+    )
 
     quick_parser = subparsers.add_parser(
         "quickstart", help="run a single PayloadPark-vs-baseline comparison"
@@ -70,7 +105,163 @@ def build_parser() -> argparse.ArgumentParser:
     quick_parser.add_argument(
         "--rate", type=float, default=10.5, help="offered load in Gbps (default 10.5)"
     )
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="declarative sweep campaigns (parallel, resumable)"
+    )
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command")
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("spec", help="campaign spec file (.yaml/.yml/.json)")
+        sub.add_argument(
+            "--store", default=None,
+            help="result store path (default results/<campaign>.jsonl)",
+        )
+        sub.add_argument(
+            "--time-scale", type=float, default=None,
+            help="override the campaign's simulated-time scale "
+                 "(part of each run's identity, so status/report need the "
+                 "same value the runs used)",
+        )
+
+    campaign_run = campaign_sub.add_parser("run", help="execute every pending grid point")
+    add_common(campaign_run)
+    campaign_run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: CPU count; 1 = serial)",
+    )
+    campaign_run.add_argument(
+        "--serial", action="store_true", help="force serial in-process execution"
+    )
+    campaign_run.add_argument(
+        "--no-resume", action="store_true",
+        help="re-execute grid points that already have records",
+    )
+    campaign_run.add_argument(
+        "--json", action="store_true", help="emit the run summary as JSON"
+    )
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="show completed/pending/failed counts"
+    )
+    add_common(campaign_status)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="aggregate stored records into a table"
+    )
+    add_common(campaign_report)
+    campaign_report.add_argument(
+        "--json", action="store_true", help="emit the aggregated rows as JSON"
+    )
+    campaign_report.add_argument(
+        "--columns", default=None,
+        help="comma-separated metric columns (default: all)",
+    )
     return parser
+
+
+def _run_experiment(name: str, as_json: bool, seed: Optional[int]) -> int:
+    """Execute one experiment, optionally as JSON and/or with a seed override."""
+    seed_context = default_seed(seed) if seed is not None else nullcontext()
+    if not as_json:
+        _description, runner = EXPERIMENTS[name]
+        with seed_context:
+            runner()
+        return 0
+    runner = JSON_RUNNERS[name]
+    kwargs = {}
+    if seed is not None and "seed" in inspect.signature(runner).parameters:
+        kwargs["seed"] = seed
+    with seed_context:
+        payload = runner(**kwargs)
+    json.dump({"experiment": name, "result": payload}, sys.stdout, indent=2, default=str)
+    print()
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Campaign subcommands
+# ---------------------------------------------------------------------- #
+
+
+def _load_campaign(args):
+    from repro.orchestrator import CampaignSpec, ResultStore, default_store_path
+
+    campaign = CampaignSpec.from_file(args.spec)
+    if getattr(args, "time_scale", None) is not None:
+        campaign = campaign.with_time_scale(args.time_scale)
+    store_path = Path(args.store) if args.store else default_store_path(campaign.name)
+    return campaign, ResultStore(store_path)
+
+
+def _campaign_run(args) -> int:
+    from repro.orchestrator import CampaignExecutor
+
+    campaign, store = _load_campaign(args)
+    workers = 1 if args.serial else args.workers
+
+    def progress(record):
+        status = record["status"]
+        point = ", ".join(f"{k}={v}" for k, v in sorted(record["params"].items()))
+        line = f"[{status}] {record['scenario']}({point}) {record['wall_time_s']:.2f}s"
+        if status != "ok":
+            line += f" — {record.get('error', 'unknown error')}"
+        print(line, file=sys.stderr)
+
+    executor = CampaignExecutor(workers=workers, progress=None if args.json else progress)
+    summary = executor.run_campaign(campaign, store=store, resume=not args.no_resume)
+    if args.json:
+        json.dump(summary.as_row(), sys.stdout, indent=2)
+        print()
+    else:
+        print(
+            f"campaign {campaign.name!r}: {summary.total} points, "
+            f"{summary.executed} executed ({summary.failed} failed), "
+            f"{summary.skipped} skipped, {summary.wall_time_s:.2f}s "
+            f"-> {store.path}"
+        )
+    return 1 if summary.failed else 0
+
+
+def _campaign_status(args) -> int:
+    campaign, store = _load_campaign(args)
+    specs = campaign.expand()
+    latest = store.latest_by_hash()
+    completed = store.completed_hashes()  # mirrors the executor's resume set
+    done = sum(1 for spec in specs if spec.spec_hash in completed)
+    # Only count points whose attempts all failed; errors superseded by a
+    # successful retry are history, not outstanding failures.
+    failing = sum(
+        1
+        for spec in specs
+        if spec.spec_hash in latest and spec.spec_hash not in completed
+    )
+    print(f"campaign:  {campaign.name} ({campaign.scenario}, mode={campaign.mode})")
+    print(f"store:     {store.path}")
+    print(f"points:    {len(specs)}")
+    print(f"completed: {done}")
+    print(f"pending:   {len(specs) - done}")
+    print(f"failing:   {failing} (latest attempt errored; retried on resume)")
+    return 0
+
+
+def _campaign_report(args) -> int:
+    from repro.orchestrator.aggregate import campaign_rows
+    from repro.telemetry.report import render_table
+
+    campaign, store = _load_campaign(args)
+    columns = None
+    if args.columns:
+        columns = [name.strip() for name in args.columns.split(",") if name.strip()]
+    rows = campaign_rows(campaign, store.load(), metric_columns=columns)
+    if args.json:
+        json.dump({"campaign": campaign.name, "rows": rows}, sys.stdout, indent=2)
+        print()
+    elif not rows:
+        print(f"no completed records for campaign {campaign.name!r} in {store.path}")
+    else:
+        print(render_table(rows))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -86,9 +277,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
-        _description, runner = EXPERIMENTS[args.experiment]
-        runner()
-        return 0
+        return _run_experiment(args.experiment, args.json, args.seed)
 
     if args.command == "quickstart":
         from repro.experiments.quickstart import run_quickstart
@@ -99,6 +288,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"goodput gain: {report.goodput_gain_percent:+.2f}%  "
               f"PCIe savings: {report.pcie_savings_percent:+.2f}%")
         return 0
+
+    if args.command == "campaign":
+        handlers = {
+            "run": _campaign_run,
+            "status": _campaign_status,
+            "report": _campaign_report,
+        }
+        handler = handlers.get(args.campaign_command)
+        if handler is None:
+            parser.print_help()
+            return 1
+        try:
+            return handler(args)
+        except (ValueError, RuntimeError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     parser.print_help()
     return 1

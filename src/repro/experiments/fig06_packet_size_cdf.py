@@ -10,16 +10,23 @@ version of that distribution together with its summary statistics.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.experiments.runner import seed_override
 from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES
 from repro.telemetry.report import render_table
 from repro.traffic.distributions import enterprise_datacenter_distribution, split_eligible_fraction
 
 
-def run(sample_count: int = 20_000, seed: int = 7) -> Dict[str, object]:
-    """Return the CDF points plus sampled statistics of the workload."""
+def run(sample_count: int = 20_000, seed: Optional[int] = None) -> Dict[str, object]:
+    """Return the CDF points plus sampled statistics of the workload.
+
+    ``seed`` defaults to the CLI's ``--seed`` override when one is
+    active, else the historical 7.
+    """
     distribution = enterprise_datacenter_distribution()
+    if seed is None:
+        seed = seed_override() if seed_override() is not None else 7
     rng = random.Random(seed)
     samples = [distribution.sample(rng) for _ in range(sample_count)]
     sampled_mean = sum(samples) / len(samples)

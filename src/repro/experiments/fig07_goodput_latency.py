@@ -13,36 +13,41 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import ExperimentRunner
-from repro.experiments.scenarios import fw_nat_40ge_enterprise, fw_nat_lb_10ge
+from repro.experiments.scenarios import fw_nat_40ge_enterprise
+from repro.orchestrator import CampaignExecutor, CampaignSpec
+from repro.orchestrator.aggregate import fig07_rows
 from repro.telemetry.report import render_table
 
 #: Send rates swept in Fig. 7 (Gbps); the baseline link capacity is 10 Gbps.
 DEFAULT_RATES_GBPS = (2.0, 4.0, 6.0, 8.0, 9.5, 10.5, 12.0)
 
 
+def campaign(rates_gbps: Sequence[float] = DEFAULT_RATES_GBPS,
+             time_scale: float = 1.0) -> CampaignSpec:
+    """The Fig. 7 rate sweep as an orchestrator campaign."""
+    return CampaignSpec(
+        name="fig07-rate-sweep",
+        scenario="fw_nat_lb_10ge",
+        grid={"send_rate_gbps": list(rates_gbps)},
+        time_scale=time_scale,
+        description="Fig. 7 — goodput/latency vs. send rate, FW -> NAT -> LB, 10 GbE",
+    )
+
+
 def run(rates_gbps: Sequence[float] = DEFAULT_RATES_GBPS,
-        runner: Optional[ExperimentRunner] = None) -> List[Dict[str, object]]:
-    """Sweep send rates for the Fig. 7 scenario; one row per rate."""
+        runner: Optional[ExperimentRunner] = None,
+        workers: int = 1) -> List[Dict[str, object]]:
+    """Sweep send rates for the Fig. 7 scenario; one row per rate.
+
+    Execution is delegated to the campaign orchestrator; *runner* only
+    contributes its ``time_scale`` (worker processes build their own
+    runners from the run descriptors).
+    """
     runner = runner or ExperimentRunner()
-    rows = []
-    for rate in rates_gbps:
-        result = runner.compare(fw_nat_lb_10ge(send_rate_gbps=rate))
-        comparison = result.comparison
-        rows.append(
-            {
-                "send_rate_gbps": rate,
-                "baseline_goodput_gbps": round(comparison.baseline.goodput_to_nf_gbps, 4),
-                "payloadpark_goodput_gbps": round(
-                    comparison.payloadpark.goodput_to_nf_gbps, 4
-                ),
-                "goodput_gain_percent": round(comparison.goodput_gain_percent, 2),
-                "baseline_latency_us": round(comparison.baseline.avg_latency_us, 2),
-                "payloadpark_latency_us": round(comparison.payloadpark.avg_latency_us, 2),
-                "baseline_healthy": comparison.baseline.healthy,
-                "payloadpark_healthy": comparison.payloadpark.healthy,
-            }
-        )
-    return rows
+    spec = campaign(rates_gbps, time_scale=runner.time_scale)
+    summary = CampaignExecutor(workers=workers).run_campaign(spec)
+    summary.raise_on_failure()
+    return fig07_rows(spec.expand(), summary.records)
 
 
 def run_40ge_fw_nat(send_rate_gbps: float = 30.0,

@@ -17,7 +17,7 @@ from typing import Dict, Optional
 
 from repro.core.program import BaselineProgram, PayloadParkProgram
 from repro.core.config import PayloadParkConfig
-from repro.experiments.runner import default_binding
+from repro.experiments.runner import default_binding, seed_override
 from repro.nf.chain import NfChain
 from repro.nf.macswap import MacSwapper
 from repro.packet.pcap import write_pcap
@@ -27,7 +27,7 @@ from repro.traffic.workload import Workload
 
 def run(
     packet_count: int = 2_000,
-    seed: int = 11,
+    seed: Optional[int] = None,
     pcap_prefix: Optional[str] = None,
 ) -> Dict[str, object]:
     """Push the same stream through both deployments and compare outputs.
@@ -35,7 +35,11 @@ def run(
     Returns a report with the number of packets compared, whether every
     wire image matched, and the PayloadPark counters (premature
     evictions must be zero for the comparison to be meaningful).
+    ``seed`` defaults to the CLI's ``--seed`` override when one is
+    active, else the historical 11.
     """
+    if seed is None:
+        seed = seed_override() if seed_override() is not None else 11
     binding = default_binding()
     payloadpark = PayloadParkProgram(
         PayloadParkConfig(sram_fraction=0.26, expiry_threshold=1), bindings=[binding]

@@ -12,6 +12,7 @@ peak-goodput search used by the §6.3.1 memory sweep.
 from __future__ import annotations
 
 import enum
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Tuple
 
@@ -34,6 +35,45 @@ class DeploymentKind(enum.Enum):
 
     BASELINE = "baseline"
     PAYLOADPARK = "payloadpark"
+
+
+#: Seed scenarios use unless one is set explicitly (see :func:`default_seed`).
+_DEFAULT_SEED = 42
+
+#: Active override installed by :func:`default_seed` (None = no override).
+_SEED_OVERRIDE: Optional[int] = None
+
+
+def current_default_seed() -> int:
+    """The seed newly-built scenarios pick up by default."""
+    return _SEED_OVERRIDE if _SEED_OVERRIDE is not None else _DEFAULT_SEED
+
+
+def seed_override() -> Optional[int]:
+    """The seed requested via :func:`default_seed`, if any.
+
+    Experiments whose sampling seed is independent of
+    :class:`ScenarioConfig` (e.g. the Fig. 6 CDF sampler) consult this
+    so the CLI's ``--seed`` flag reaches them too.
+    """
+    return _SEED_OVERRIDE
+
+
+@contextmanager
+def default_seed(seed: int):
+    """Temporarily override the seed experiments use.
+
+    The CLI's ``--seed`` flag wraps experiment execution in this context
+    so every scenario the experiment builds inherits the requested seed
+    without threading a parameter through each module.
+    """
+    global _SEED_OVERRIDE
+    previous = _SEED_OVERRIDE
+    _SEED_OVERRIDE = int(seed)
+    try:
+        yield
+    finally:
+        _SEED_OVERRIDE = previous
 
 
 def default_binding(name: str = "srv0", pipe: int = 0) -> NfServerBinding:
@@ -85,7 +125,7 @@ class ScenarioConfig:
     service_jitter: float = 0.3
     cpu_ghz: float = 2.3
     gen_link_gbps: float = 100.0
-    seed: int = 42
+    seed: int = field(default_factory=current_default_seed)
     switch_latency_ns: int = 800
 
     def with_rate(self, rate_gbps: float) -> "ScenarioConfig":

@@ -1,0 +1,46 @@
+"""Campaign orchestrator: declarative sweeps, parallel execution, resumable results.
+
+The subsystem has four layers:
+
+- :mod:`repro.orchestrator.spec` — scenario registry, campaign grids and
+  hashable run descriptors;
+- :mod:`repro.orchestrator.executor` — multiprocessing fan-out with a
+  serial fallback;
+- :mod:`repro.orchestrator.store` — append-only JSONL records keyed by
+  spec hash, enabling resume;
+- :mod:`repro.orchestrator.aggregate` — regrouping records into
+  per-figure tables.
+"""
+
+from repro.orchestrator.executor import (
+    CampaignExecutor,
+    CampaignSummary,
+    execute_run,
+    flatten_comparison,
+    flatten_report,
+)
+from repro.orchestrator.spec import (
+    SCENARIO_REGISTRY,
+    CampaignSpec,
+    RunSpec,
+    build_scenario,
+    derived_seed,
+    register_scenario,
+)
+from repro.orchestrator.store import ResultStore, default_store_path
+
+__all__ = [
+    "SCENARIO_REGISTRY",
+    "CampaignExecutor",
+    "CampaignSpec",
+    "CampaignSummary",
+    "ResultStore",
+    "RunSpec",
+    "build_scenario",
+    "default_store_path",
+    "derived_seed",
+    "execute_run",
+    "flatten_comparison",
+    "flatten_report",
+    "register_scenario",
+]

@@ -1,0 +1,164 @@
+"""Aggregation: group stored run records back into per-figure tables.
+
+The store holds one flat record per run in completion order; this module
+re-aligns them with a campaign's grid (via spec hashes) and produces the
+row dicts that :func:`repro.telemetry.report.render_table` prints.  The
+``fig07``/``fig14`` helpers rebuild those experiments' historical table
+shapes so routing them through the orchestrator is output-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.orchestrator.spec import CampaignSpec, RunSpec
+
+Record = Dict[str, Any]
+
+
+def latest_ok_by_hash(records: Iterable[Record]) -> Dict[str, Record]:
+    """Most recent successful record per spec hash."""
+    latest: Dict[str, Record] = {}
+    for record in records:
+        if record.get("status") == "ok" and record.get("spec_hash"):
+            latest[record["spec_hash"]] = record
+    return latest
+
+
+def align(specs: Sequence[RunSpec], records: Iterable[Record]) -> List[Optional[Record]]:
+    """Records in grid order: one entry per spec, ``None`` where unfinished."""
+    by_hash = latest_ok_by_hash(records)
+    return [by_hash.get(spec.spec_hash) for spec in specs]
+
+
+def campaign_rows(
+    campaign: CampaignSpec,
+    records: Iterable[Record],
+    metric_columns: Optional[Sequence[str]] = None,
+    include_missing: bool = False,
+) -> List[Dict[str, Any]]:
+    """One table row per grid point: swept parameters + selected metrics.
+
+    Without *metric_columns* every metric of the first finished run is
+    included — useful interactively; pass an explicit list for stable
+    reports.
+    """
+    specs = campaign.expand()
+    aligned = align(specs, records)
+    swept = sorted(campaign.grid)
+    rows: List[Dict[str, Any]] = []
+    for spec, record in zip(specs, aligned):
+        if record is None and not include_missing:
+            continue
+        row: Dict[str, Any] = {axis: spec.params.get(axis) for axis in swept}
+        if record is None:
+            row["status"] = "pending"
+            rows.append(row)
+            continue
+        metrics = record.get("metrics", {})
+        columns = metric_columns if metric_columns is not None else sorted(metrics)
+        for column in columns:
+            row[column] = _round(metrics.get(column))
+        rows.append(row)
+    return rows
+
+
+def group_rows(
+    rows: Iterable[Mapping[str, Any]],
+    by: Sequence[str],
+    reductions: Mapping[str, str],
+) -> List[Dict[str, Any]]:
+    """Group rows on the *by* columns and reduce the named metric columns.
+
+    ``reductions`` maps column → one of ``mean``, ``sum``, ``min``,
+    ``max`` or ``count``.  Group order follows first appearance.
+    """
+    reducers = {
+        "mean": lambda values: sum(values) / len(values),
+        "sum": sum,
+        "min": min,
+        "max": max,
+        "count": len,
+    }
+    for column, how in reductions.items():
+        if how not in reducers:
+            raise ValueError(f"unknown reduction {how!r} for column {column!r}")
+
+    groups: Dict[tuple, List[Mapping[str, Any]]] = {}
+    for row in rows:
+        key = tuple(row.get(column) for column in by)
+        groups.setdefault(key, []).append(row)
+
+    result = []
+    for key, members in groups.items():
+        out: Dict[str, Any] = dict(zip(by, key))
+        for column, how in reductions.items():
+            values = [row[column] for row in members if row.get(column) is not None]
+            out[column] = reducers[how](values) if values else None
+        result.append(out)
+    return result
+
+
+def _round(value: Any, digits: int = 4) -> Any:
+    if isinstance(value, float):
+        return round(value, digits)
+    return value
+
+
+# ---------------------------------------------------------------------- #
+# Figure-shaped tables
+# ---------------------------------------------------------------------- #
+
+
+def fig07_rows(specs: Sequence[RunSpec], records: Iterable[Record]) -> List[Dict[str, Any]]:
+    """Rebuild the historical Fig. 7 table from orchestrator records."""
+    rows = []
+    for spec, record in zip(specs, align(specs, records)):
+        if record is None:
+            continue
+        metrics = record["metrics"]
+        rows.append(
+            {
+                "send_rate_gbps": spec.params["send_rate_gbps"],
+                "baseline_goodput_gbps": round(metrics["baseline_goodput_to_nf_gbps"], 4),
+                "payloadpark_goodput_gbps": round(
+                    metrics["payloadpark_goodput_to_nf_gbps"], 4
+                ),
+                "goodput_gain_percent": round(metrics["goodput_gain_percent"], 2),
+                "baseline_latency_us": round(metrics["baseline_avg_latency_us"], 2),
+                "payloadpark_latency_us": round(metrics["payloadpark_avg_latency_us"], 2),
+                "baseline_healthy": metrics["baseline_healthy"],
+                "payloadpark_healthy": metrics["payloadpark_healthy"],
+            }
+        )
+    return rows
+
+
+def fig14_rows(
+    sweep_specs: Sequence[RunSpec],
+    records: Iterable[Record],
+    baseline_spec: Optional[RunSpec] = None,
+) -> List[Dict[str, Any]]:
+    """Rebuild the historical Fig. 14 table from orchestrator records."""
+    records = list(records)
+    baseline_peak_goodput = None
+    if baseline_spec is not None:
+        aligned = align([baseline_spec], records)[0]
+        if aligned is not None:
+            baseline_peak_goodput = aligned["metrics"]["peak_goodput_to_nf_gbps"]
+    rows = []
+    for spec, record in zip(sweep_specs, align(sweep_specs, records)):
+        if record is None:
+            continue
+        metrics = record["metrics"]
+        row = {
+            "sram_fraction_percent": round(spec.params["sram_fraction"] * 100, 2),
+            "peak_send_rate_gbps": round(metrics["peak_send_rate_gbps"], 2),
+            "peak_goodput_gbps": round(metrics["peak_goodput_to_nf_gbps"], 4),
+            "premature_evictions": metrics["peak_premature_evictions"],
+            "drop_rate": round(metrics["peak_drop_rate"], 5),
+        }
+        if baseline_peak_goodput is not None:
+            row["baseline_peak_goodput_gbps"] = round(baseline_peak_goodput, 4)
+        rows.append(row)
+    return rows

@@ -1,0 +1,228 @@
+"""Parallel campaign execution over a multiprocessing pool.
+
+Each run owns a private :class:`~repro.netsim.eventloop.EventLoop`, so
+grid points are embarrassingly parallel: the executor fans pending
+:class:`~repro.orchestrator.spec.RunSpec` descriptors out to worker
+processes and streams completed records back into the result store as
+they arrive.  ``workers=1`` (or a single pending run) falls back to
+plain in-process execution — the debugging path, and the path the
+experiment modules use so figure regeneration stays deterministic and
+cheap to trace.
+
+Run descriptors carry only plain data; workers rebuild the scenario
+(chains, workload, topology) from the registry on their side of the
+process boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.runner import DeploymentKind, ExperimentRunner
+from repro.orchestrator.spec import CampaignSpec, RunSpec, build_scenario, dedupe_specs
+from repro.orchestrator.store import ResultStore
+from repro.telemetry.report import ComparisonReport, DeploymentReport
+
+#: Callback invoked with each finished record (progress reporting).
+ProgressCallback = Callable[[Dict[str, Any]], None]
+
+
+def flatten_report(report: DeploymentReport, prefix: str = "") -> Dict[str, Any]:
+    """Flatten one deployment report into scalar ``prefix``-ed metrics."""
+    metrics: Dict[str, Any] = {}
+    for spec_field in dataclasses.fields(report):
+        value = getattr(report, spec_field.name)
+        if spec_field.name == "drop_breakdown":
+            for key, count in value.items():
+                metrics[f"{prefix}drop_{key}"] = count
+        elif isinstance(value, (bool, int, float, str)):
+            metrics[f"{prefix}{spec_field.name}"] = value
+    metrics[f"{prefix}drop_rate"] = report.drop_rate
+    metrics[f"{prefix}healthy"] = report.healthy
+    return metrics
+
+
+def flatten_comparison(comparison: ComparisonReport) -> Dict[str, Any]:
+    """Flatten a baseline-vs-PayloadPark comparison into one metrics dict."""
+    metrics = flatten_report(comparison.baseline, "baseline_")
+    metrics.update(flatten_report(comparison.payloadpark, "payloadpark_"))
+    metrics["goodput_gain_percent"] = comparison.goodput_gain_percent
+    metrics["delivered_goodput_gain_percent"] = comparison.delivered_goodput_gain_percent
+    metrics["pcie_savings_percent"] = comparison.pcie_savings_percent
+    metrics["latency_delta_us"] = comparison.latency_delta_us
+    return metrics
+
+
+def execute_run(run: RunSpec) -> Dict[str, Any]:
+    """Execute one run descriptor and return its result record.
+
+    Top-level so it pickles into pool workers.  Failures are captured in
+    the record (``status: "error"``) instead of tearing down the pool;
+    failed hashes are retried on the next resume.
+    """
+    started = time.perf_counter()
+    record: Dict[str, Any] = {
+        "spec_hash": run.spec_hash,
+        "scenario": run.scenario,
+        "mode": run.mode,
+        "params": dict(run.params),
+        "options": dict(run.options),
+        "time_scale": run.time_scale,
+        "status": "ok",
+    }
+    try:
+        scenario = build_scenario(run)
+        record["seed"] = scenario.seed
+        runner = ExperimentRunner(time_scale=run.time_scale)
+        if run.mode == "compare":
+            result = runner.compare(scenario)
+            record["metrics"] = flatten_comparison(result.comparison)
+        else:
+            record["metrics"] = _execute_peak(runner, scenario, run.options)
+    except Exception as exc:  # noqa: BLE001 - worker must not crash the pool
+        record["status"] = "error"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["traceback"] = traceback.format_exc()
+    record["wall_time_s"] = time.perf_counter() - started
+    return record
+
+
+def _execute_peak(
+    runner: ExperimentRunner, scenario, options: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Run the §6.3.1 peak-goodput search for one grid point."""
+    deployment = DeploymentKind(options.get("deployment", "payloadpark"))
+    bounds = options.get("rate_bounds_gbps", (1.0, 60.0))
+    rate, report = runner.peak_goodput(
+        scenario,
+        deployment=deployment,
+        require_zero_premature_evictions=options.get(
+            "require_zero_premature_evictions", True
+        ),
+        rate_bounds_gbps=(float(bounds[0]), float(bounds[1])),
+        tolerance_gbps=float(options.get("tolerance_gbps", 1.0)),
+    )
+    metrics = {"peak_send_rate_gbps": rate}
+    metrics.update(flatten_report(report, "peak_"))
+    return metrics
+
+
+@dataclass
+class CampaignSummary:
+    """What one executor invocation did."""
+
+    total: int = 0
+    executed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    wall_time_s: float = 0.0
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        """Runs that finished successfully in this invocation."""
+        return self.executed - self.failed
+
+    def raise_on_failure(self) -> None:
+        """Raise if any run failed — for callers that need every point.
+
+        The figure experiments use this so a broken grid point surfaces
+        as an exception (like the pre-orchestrator serial loops did)
+        instead of a silently shorter table.
+        """
+        if not self.failed:
+            return
+        errors = [
+            f"{record['scenario']}({record['params']}): {record.get('error')}"
+            for record in self.records
+            if record.get("status") != "ok"
+        ]
+        raise RuntimeError(
+            f"{self.failed} of {self.executed} campaign runs failed:\n"
+            + "\n".join(errors)
+        )
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat dict for table rendering."""
+        return {
+            "total": self.total,
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "failed": self.failed,
+            "wall_time_s": round(self.wall_time_s, 2),
+        }
+
+
+class CampaignExecutor:
+    """Fans campaign runs out over worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``1`` executes serially in-process (the
+        debugging path); ``None`` uses the machine's CPU count.
+    progress:
+        Optional callback receiving each finished record.
+    """
+
+    def __init__(
+        self, workers: Optional[int] = 1, progress: Optional[ProgressCallback] = None
+    ) -> None:
+        if workers is None:
+            workers = multiprocessing.cpu_count()
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.progress = progress
+
+    def run_campaign(
+        self,
+        campaign: CampaignSpec,
+        store: Optional[ResultStore] = None,
+        resume: bool = True,
+    ) -> CampaignSummary:
+        """Expand *campaign* and execute every pending grid point."""
+        return self.run_specs(campaign.expand(), store=store, resume=resume)
+
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        store: Optional[ResultStore] = None,
+        resume: bool = True,
+    ) -> CampaignSummary:
+        """Execute *specs*, skipping hashes the store already completed."""
+        started = time.perf_counter()
+        specs = dedupe_specs(specs)
+        completed = store.completed_hashes() if (store is not None and resume) else set()
+        pending = [spec for spec in specs if spec.spec_hash not in completed]
+        summary = CampaignSummary(total=len(specs), skipped=len(specs) - len(pending))
+
+        for record in self._execute(pending):
+            summary.executed += 1
+            if record.get("status") != "ok":
+                summary.failed += 1
+            if store is not None:
+                store.append(record)
+            if self.progress is not None:
+                self.progress(record)
+            summary.records.append(record)
+
+        summary.wall_time_s = time.perf_counter() - started
+        return summary
+
+    def _execute(self, pending: Sequence[RunSpec]) -> Iterable[Dict[str, Any]]:
+        if not pending:
+            return
+        if self.workers <= 1 or len(pending) == 1:
+            for spec in pending:
+                yield execute_run(spec)
+            return
+        processes = min(self.workers, len(pending))
+        with multiprocessing.get_context().Pool(processes=processes) as pool:
+            for record in pool.imap_unordered(execute_run, pending):
+                yield record

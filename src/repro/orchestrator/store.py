@@ -1,0 +1,94 @@
+"""Append-only JSONL result store with resume support.
+
+Every completed run becomes one JSON line: the run's spec hash, its
+parameters, the seed actually used and the flattened metrics.  The store
+is the campaign's durable state — :meth:`ResultStore.completed_hashes`
+tells the executor which grid points already finished so a re-run of the
+same campaign only executes what is missing.
+
+Only the orchestrating process writes (workers hand records back over
+the pool), so appends never interleave.  A truncated trailing line —
+e.g. from a run killed mid-write — is skipped on load rather than
+poisoning the whole store.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Set
+
+
+class ResultStore:
+    """One JSONL file holding a campaign's per-run records."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one run record."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a+b") as handle:
+            # A run killed mid-write can leave a torn line without a
+            # newline; terminate it so only that line is lost, not ours.
+            if handle.tell() > 0:
+                handle.seek(-1, 2)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(json.dumps(record, sort_keys=True).encode("utf-8"))
+            handle.write(b"\n")
+            handle.flush()
+
+    def load(self) -> List[Dict[str, Any]]:
+        """All well-formed records, in append order; malformed lines are skipped."""
+        return list(self.iter_records())
+
+    def iter_records(self) -> Iterator[Dict[str, Any]]:
+        """Yield records lazily; tolerate a corrupt/truncated line."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+
+    def completed_hashes(self) -> Set[str]:
+        """Spec hashes of successfully finished runs (the resume set).
+
+        Failed runs are *not* included, so resuming a campaign retries
+        them.
+        """
+        return {
+            record["spec_hash"]
+            for record in self.iter_records()
+            if record.get("status") == "ok" and "spec_hash" in record
+        }
+
+    def latest_by_hash(self) -> Dict[str, Dict[str, Any]]:
+        """Most recent record per spec hash (later appends win)."""
+        latest: Dict[str, Dict[str, Any]] = {}
+        for record in self.iter_records():
+            spec_hash = record.get("spec_hash")
+            if spec_hash:
+                latest[spec_hash] = record
+        return latest
+
+    def record_count(self) -> int:
+        """Number of well-formed records on disk."""
+        return sum(1 for _ in self.iter_records())
+
+    def __len__(self) -> int:
+        return self.record_count()
+
+
+def default_store_path(campaign_name: str, root: Optional[Path] = None) -> Path:
+    """The conventional store location for a campaign: ``results/<name>.jsonl``."""
+    root = Path(root) if root is not None else Path("results")
+    return root / f"{campaign_name}.jsonl"

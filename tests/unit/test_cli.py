@@ -1,8 +1,10 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import EXPERIMENTS, JSON_RUNNERS, build_parser, main
 
 
 class TestCli:
@@ -37,3 +39,79 @@ class TestCli:
     def test_registry_covers_every_figure_and_table(self):
         expected = {f"fig{number:02d}" for number in range(6, 17)} | {"table1", "equivalence"}
         assert expected == set(EXPERIMENTS)
+
+    def test_json_runners_cover_every_experiment(self):
+        assert set(JSON_RUNNERS) == set(EXPERIMENTS)
+
+    def test_run_json_emits_parseable_payload(self, capsys):
+        assert main(["run", "table1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "table1"
+        assert isinstance(payload["result"], list)
+
+    def test_run_json_seed_is_reproducible_and_plumbed(self, capsys):
+        from repro.experiments import fig06_packet_size_cdf
+
+        assert main(["run", "fig06", "--json", "--seed", "3"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["run", "fig06", "--json", "--seed", "3"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        direct = fig06_packet_size_cdf.run(seed=3)
+        assert first["result"]["sampled_mean_bytes"] == direct["sampled_mean_bytes"]
+
+    def test_seed_flag_changes_scenario_default_seed(self):
+        from repro.experiments.runner import ScenarioConfig, default_seed
+
+        assert ScenarioConfig(name="x").seed == 42
+        with default_seed(7):
+            assert ScenarioConfig(name="x").seed == 7
+        assert ScenarioConfig(name="x").seed == 42
+
+
+class TestCampaignCli:
+    def _write_spec(self, tmp_path, time_scale=0.05):
+        spec = {
+            "name": "cli-grid",
+            "scenario": "fw_nat_lb_10ge",
+            "grid": {"send_rate_gbps": [4.0, 8.0]},
+            "time_scale": time_scale,
+        }
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_campaign_run_status_report_cycle(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        store = tmp_path / "results.jsonl"
+
+        assert main(["campaign", "run", str(spec), "--store", str(store), "--serial"]) == 0
+        out = capsys.readouterr().out
+        assert "2 executed" in out and "0 skipped" in out
+        assert store.exists()
+        assert len(store.read_text().strip().splitlines()) == 2
+
+        # Resume: everything is already done.
+        assert main(["campaign", "run", str(spec), "--store", str(store), "--serial"]) == 0
+        assert "0 executed" in capsys.readouterr().out and \
+            len(store.read_text().strip().splitlines()) == 2
+
+        assert main(["campaign", "status", str(spec), "--store", str(store)]) == 0
+        status = capsys.readouterr().out
+        assert "completed: 2" in status and "pending:   0" in status
+
+        assert main(["campaign", "report", str(spec), "--store", str(store),
+                     "--columns", "goodput_gain_percent", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["send_rate_gbps"] for row in payload["rows"]] == [4.0, 8.0]
+        assert all("goodput_gain_percent" in row for row in payload["rows"])
+
+    def test_campaign_report_without_records(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        assert main(["campaign", "report", str(spec),
+                     "--store", str(tmp_path / "empty.jsonl")]) == 0
+        assert "no completed records" in capsys.readouterr().out
+
+    def test_campaign_without_subcommand_shows_help(self, capsys):
+        assert main(["campaign"]) == 1
+        assert "usage" in capsys.readouterr().out.lower()

@@ -1,0 +1,125 @@
+"""Edge-case coverage for the discrete-event loop.
+
+The orchestrator's correctness rests on runs being deterministic and
+independent; these tests pin the event loop's corner behaviours —
+horizon handling, tie-breaking, scheduling boundaries — that the basic
+suite in ``test_netsim.py`` does not reach.
+"""
+
+import pytest
+
+from repro.netsim.eventloop import EventLoop
+
+
+class TestSchedulingBoundaries:
+    def test_schedule_at_current_time_is_allowed(self):
+        env = EventLoop()
+        env.schedule_in(10, lambda: None)
+        env.run_until(10)
+        fired = []
+        env.schedule_at(10, lambda: fired.append(env.now))
+        env.run_until(10)
+        assert fired == [10]
+
+    def test_schedule_in_zero_runs_after_current_event(self):
+        env = EventLoop()
+        order = []
+        env.schedule_at(5, lambda: (order.append("first"),
+                                    env.schedule_in(0, lambda: order.append("second"))))
+        env.run_until(5)
+        assert order == ["first", "second"]
+        assert env.now == 5
+
+    def test_scheduling_in_past_raises_even_mid_run(self):
+        env = EventLoop()
+        errors = []
+
+        def try_past():
+            try:
+                env.schedule_at(env.now - 1, lambda: None)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        env.schedule_at(100, try_past)
+        env.run_until(100)
+        assert len(errors) == 1 and "past" in errors[0]
+
+    def test_negative_delay_rejected(self):
+        env = EventLoop()
+        with pytest.raises(ValueError, match="non-negative"):
+            env.schedule_in(-5, lambda: None)
+
+
+class TestHorizonSemantics:
+    def test_run_until_advances_now_to_horizon_with_empty_queue(self):
+        env = EventLoop()
+        env.run_until(1_000)
+        assert env.now == 1_000
+
+    def test_run_until_advances_now_past_last_event(self):
+        env = EventLoop()
+        env.schedule_in(10, lambda: None)
+        env.run_until(500)
+        assert env.now == 500
+
+    def test_event_exactly_at_horizon_executes(self):
+        env = EventLoop()
+        fired = []
+        env.schedule_at(100, lambda: fired.append(True))
+        env.run_until(100)
+        assert fired == [True]
+        assert env.pending_events == 0
+
+    def test_earlier_horizon_does_not_move_time_backwards(self):
+        env = EventLoop()
+        env.run_until(1_000)
+        env.run_until(10)
+        assert env.now == 1_000
+
+    def test_successive_windows_partition_events(self):
+        env = EventLoop()
+        hits = []
+        for when in (10, 20, 30, 40):
+            env.schedule_at(when, lambda w=when: hits.append(w))
+        env.run_until(20)
+        assert hits == [10, 20] and env.now == 20
+        env.run_until(40)
+        assert hits == [10, 20, 30, 40] and env.now == 40
+
+
+class TestOrderingAndAccounting:
+    def test_ties_preserve_scheduling_order_across_interleaved_times(self):
+        env = EventLoop()
+        order = []
+        env.schedule_at(7, lambda: order.append("a"))
+        env.schedule_at(5, lambda: order.append("b"))
+        env.schedule_at(7, lambda: order.append("c"))
+        env.schedule_at(5, lambda: order.append("d"))
+        env.run_until(10)
+        assert order == ["b", "d", "a", "c"]
+
+    def test_ties_scheduled_from_callbacks_run_after_existing_ties(self):
+        env = EventLoop()
+        order = []
+        env.schedule_at(5, lambda: (order.append(1),
+                                    env.schedule_at(5, lambda: order.append(3))))
+        env.schedule_at(5, lambda: order.append(2))
+        env.run_until(5)
+        assert order == [1, 2, 3]
+
+    def test_events_executed_counts_only_executed(self):
+        env = EventLoop()
+        for when in (10, 20, 30):
+            env.schedule_at(when, lambda: None)
+        env.run_until(20)
+        assert env.events_executed == 2
+        assert env.pending_events == 1
+
+    def test_run_all_respects_max_events(self):
+        env = EventLoop()
+        hits = []
+        for when in (10, 20, 30):
+            env.schedule_at(when, lambda w=when: hits.append(w))
+        env.run_all(max_events=2)
+        assert hits == [10, 20]
+        assert env.pending_events == 1

@@ -1,0 +1,385 @@
+"""Unit tests for the campaign orchestrator: specs, store, executor, aggregation."""
+
+import json
+
+import pytest
+
+from repro.experiments import fig07_goodput_latency, fig14_memory_sweep
+from repro.experiments.runner import DeploymentKind, ExperimentRunner
+from repro.experiments.scenarios import fw_nat_lb_10ge
+from repro.nf.framework import NETBRICKS, OPENNETVM
+from repro.orchestrator import (
+    CampaignExecutor,
+    CampaignSpec,
+    ResultStore,
+    RunSpec,
+    build_scenario,
+    derived_seed,
+    execute_run,
+)
+from repro.orchestrator.aggregate import campaign_rows, group_rows
+from repro.orchestrator.spec import dedupe_specs
+
+#: Simulated-time scale keeping each run cheap while still exercising traffic.
+FAST = 0.05
+
+
+def small_campaign(**kwargs) -> CampaignSpec:
+    defaults = dict(
+        name="test-grid",
+        scenario="fw_nat_lb_10ge",
+        grid={"send_rate_gbps": [2.0, 4.0, 6.0, 8.0], "expiry_threshold": [1, 4]},
+        time_scale=FAST,
+    )
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+class TestRunSpec:
+    def test_hash_is_stable_across_param_order(self):
+        a = RunSpec("fw_nat_lb_10ge", params={"send_rate_gbps": 8.0, "seed": 1})
+        b = RunSpec("fw_nat_lb_10ge", params={"seed": 1, "send_rate_gbps": 8.0})
+        assert a.spec_hash == b.spec_hash
+
+    def test_hash_changes_with_any_input(self):
+        base = RunSpec("fw_nat_lb_10ge", params={"send_rate_gbps": 8.0})
+        assert base.spec_hash != RunSpec(
+            "fw_nat_lb_10ge", params={"send_rate_gbps": 9.0}
+        ).spec_hash
+        assert base.spec_hash != RunSpec(
+            "fw_nat_40ge_enterprise", params={"send_rate_gbps": 8.0}
+        ).spec_hash
+        assert base.spec_hash != RunSpec(
+            "fw_nat_lb_10ge", params={"send_rate_gbps": 8.0}, time_scale=0.5
+        ).spec_hash
+        assert base.spec_hash != RunSpec(
+            "fw_nat_lb_10ge", mode="peak", params={"send_rate_gbps": 8.0}
+        ).spec_hash
+
+    def test_hash_matches_known_value(self):
+        # Pinned: the resume key must stay stable across sessions/processes.
+        spec = RunSpec("fw_nat_lb_10ge", params={"send_rate_gbps": 8.0})
+        assert spec.spec_hash == spec.spec_hash
+        assert len(spec.spec_hash) == 16
+        int(spec.spec_hash, 16)  # hex
+
+    def test_rejects_unknown_scenario_and_mode(self):
+        with pytest.raises(ValueError):
+            RunSpec("not-a-scenario")
+        with pytest.raises(ValueError):
+            RunSpec("fw_nat_lb_10ge", mode="explore")
+
+    def test_dedupe_preserves_order(self):
+        a = RunSpec("fw_nat_lb_10ge", params={"send_rate_gbps": 2.0})
+        b = RunSpec("fw_nat_lb_10ge", params={"send_rate_gbps": 4.0})
+        assert dedupe_specs([a, b, a]) == [a, b]
+
+
+class TestCampaignSpec:
+    def test_expand_is_cartesian_and_ordered(self):
+        campaign = small_campaign()
+        runs = campaign.expand()
+        assert len(runs) == campaign.point_count == 8
+        assert len({run.spec_hash for run in runs}) == 8
+        # expiry_threshold sorts before send_rate_gbps, so it varies slowest.
+        assert [run.params["expiry_threshold"] for run in runs[:4]] == [1, 1, 1, 1]
+        assert [run.params["send_rate_gbps"] for run in runs[:4]] == [2.0, 4.0, 6.0, 8.0]
+
+    def test_base_and_grid_may_not_overlap(self):
+        with pytest.raises(ValueError):
+            small_campaign(base={"expiry_threshold": 1})
+
+    def test_per_run_seed_policy_is_deterministic(self):
+        campaign = small_campaign(seed_policy="per-run")
+        seeds = [run.params["seed"] for run in campaign.expand()]
+        assert seeds == [run.params["seed"] for run in campaign.expand()]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds[0] == derived_seed(
+            "fw_nat_lb_10ge", {"expiry_threshold": 1, "send_rate_gbps": 2.0}
+        )
+
+    def test_roundtrip_through_dict_and_files(self, tmp_path):
+        campaign = small_campaign(base={"seed": 7}, description="roundtrip")
+        restored = CampaignSpec.from_dict(campaign.to_dict())
+        assert [r.spec_hash for r in restored.expand()] == [
+            r.spec_hash for r in campaign.expand()
+        ]
+
+        json_path = tmp_path / "campaign.json"
+        json_path.write_text(json.dumps(campaign.to_dict()))
+        from_json = CampaignSpec.from_file(json_path)
+        assert from_json.expand()[0].spec_hash == campaign.expand()[0].spec_hash
+
+        yaml = pytest.importorskip("yaml")
+        yaml_path = tmp_path / "campaign.yaml"
+        yaml_path.write_text(yaml.safe_dump(campaign.to_dict()))
+        from_yaml = CampaignSpec.from_file(yaml_path)
+        assert from_yaml.expand()[0].spec_hash == campaign.expand()[0].spec_hash
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            CampaignSpec.from_dict({"name": "x", "scenario": "fw_nat_lb_10ge", "grids": {}})
+
+    def test_from_file_rejects_malformed_yaml(self, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "broken.yaml"
+        path.write_text("name: [unclosed\nscenario: fw_nat_lb_10ge\n")
+        with pytest.raises(ValueError, match="not valid YAML"):
+            CampaignSpec.from_file(path)
+
+
+class TestBuildScenario:
+    def test_builder_kwargs_and_overrides_route_correctly(self):
+        run = RunSpec(
+            "fw_nat_lb_10ge",
+            params={
+                "send_rate_gbps": 9.0,      # builder kwarg
+                "sram_fraction": 0.40,      # PayloadPark override
+                "expiry_threshold": 10,     # PayloadPark override
+                "seed": 7,                  # scenario override
+                "framework": "opennetvm",   # special-cased override
+            },
+        )
+        scenario = build_scenario(run)
+        assert scenario.send_rate_gbps == 9.0
+        assert scenario.payloadpark.sram_fraction == 0.40
+        assert scenario.payloadpark.expiry_threshold == 10
+        assert scenario.seed == 7
+        assert scenario.framework is OPENNETVM
+
+    def test_defaults_match_direct_scenario_construction(self):
+        scenario = build_scenario(RunSpec("fw_nat_lb_10ge"))
+        direct = fw_nat_lb_10ge()
+        assert scenario.send_rate_gbps == direct.send_rate_gbps
+        assert scenario.seed == direct.seed
+        assert scenario.framework is NETBRICKS
+
+    def test_packet_size_override_swaps_workload(self):
+        scenario = build_scenario(
+            RunSpec("fw_nat_lb_10ge", params={"packet_size": 384})
+        )
+        assert scenario.workload.name == "fixed-384B"
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(ValueError, match="unknown campaign parameter"):
+            build_scenario(RunSpec("fw_nat_lb_10ge", params={"warp_factor": 9}))
+
+    def test_missing_required_builder_arg_raises(self):
+        with pytest.raises(ValueError, match="could not be built"):
+            build_scenario(RunSpec("fixed_size_40ge", params={"packet_size": 384}))
+
+
+class TestResultStore:
+    def test_append_load_and_resume_set(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        assert store.load() == []
+        assert store.completed_hashes() == set()
+        store.append({"spec_hash": "aa", "status": "ok", "metrics": {"x": 1}})
+        store.append({"spec_hash": "bb", "status": "error", "error": "boom"})
+        assert store.record_count() == 2
+        assert store.completed_hashes() == {"aa"}
+
+    def test_corrupt_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = ResultStore(path)
+        store.append({"spec_hash": "aa", "status": "ok"})
+        with path.open("a") as handle:
+            handle.write('{"spec_hash": "bb", "status": "o')  # killed mid-write
+        assert store.completed_hashes() == {"aa"}
+        # The store stays appendable after the torn write.
+        store.append({"spec_hash": "cc", "status": "ok"})
+        assert store.completed_hashes() == {"aa", "cc"}
+
+    def test_latest_record_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.append({"spec_hash": "aa", "status": "ok", "metrics": {"x": 1}})
+        store.append({"spec_hash": "aa", "status": "ok", "metrics": {"x": 2}})
+        assert store.latest_by_hash()["aa"]["metrics"] == {"x": 2}
+
+
+class TestExecutor:
+    def test_execute_run_records_failure_instead_of_raising(self):
+        # duration shorter than warmup -> ExperimentRunner raises.
+        record = execute_run(
+            RunSpec("fw_nat_lb_10ge", params={"duration_us": 10.0, "warmup_us": 20.0})
+        )
+        assert record["status"] == "error"
+        assert "warmup" in record["error"]
+
+    def test_parallel_campaign_persists_and_resumes(self, tmp_path):
+        """Acceptance: an 8-point grid over 2 workers, one record per run,
+        and a second invocation skips every completed point."""
+        campaign = small_campaign()
+        store = ResultStore(tmp_path / "grid.jsonl")
+
+        first = CampaignExecutor(workers=2).run_campaign(campaign, store=store)
+        assert first.total == 8
+        assert first.executed == 8
+        assert first.failed == 0
+        assert store.record_count() == 8
+        hashes = {record["spec_hash"] for record in store.load()}
+        assert hashes == {run.spec_hash for run in campaign.expand()}
+
+        second = CampaignExecutor(workers=2).run_campaign(campaign, store=store)
+        assert second.skipped == 8
+        assert second.executed == 0
+        assert store.record_count() == 8
+
+    def test_parallel_matches_serial_results(self, tmp_path):
+        campaign = small_campaign(grid={"send_rate_gbps": [4.0, 8.0]})
+        serial = CampaignExecutor(workers=1).run_campaign(campaign)
+        parallel = CampaignExecutor(workers=2).run_campaign(campaign)
+        by_hash = lambda summary: {  # noqa: E731
+            record["spec_hash"]: record["metrics"] for record in summary.records
+        }
+        assert by_hash(serial) == by_hash(parallel)
+
+    def test_resume_retries_failed_runs(self, tmp_path):
+        campaign = small_campaign(grid={"send_rate_gbps": [4.0]})
+        store = ResultStore(tmp_path / "grid.jsonl")
+        spec_hash = campaign.expand()[0].spec_hash
+        store.append({"spec_hash": spec_hash, "status": "error", "error": "crash"})
+        summary = CampaignExecutor(workers=1).run_campaign(campaign, store=store)
+        assert summary.executed == 1
+        assert store.completed_hashes() == {spec_hash}
+
+    def test_summary_raise_on_failure_lists_errors(self):
+        from repro.orchestrator import CampaignSummary
+
+        CampaignSummary(total=2, executed=2).raise_on_failure()  # no-op
+        summary = CampaignSummary(
+            total=1,
+            executed=1,
+            failed=1,
+            records=[
+                {
+                    "status": "error",
+                    "scenario": "fw_nat_lb_10ge",
+                    "params": {"send_rate_gbps": 8.0},
+                    "error": "ValueError: boom",
+                }
+            ],
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            summary.raise_on_failure()
+
+    def test_figure_port_raises_on_failed_grid_point(self):
+        runner = ExperimentRunner(time_scale=FAST)
+        with pytest.raises(RuntimeError, match="campaign runs failed"):
+            # Negative rate makes the traffic generator reject the run.
+            fig07_goodput_latency.run((-1.0,), runner=runner)
+
+    def test_peak_mode_records_peak_metrics(self):
+        record = execute_run(
+            RunSpec(
+                "memory_sweep",
+                mode="peak",
+                params={"sram_fraction": 0.26},
+                options={
+                    "deployment": "payloadpark",
+                    "rate_bounds_gbps": [4.0, 12.0],
+                    "tolerance_gbps": 8.0,
+                },
+                time_scale=FAST,
+            )
+        )
+        assert record["status"] == "ok"
+        assert record["metrics"]["peak_send_rate_gbps"] >= 4.0
+        assert "peak_goodput_to_nf_gbps" in record["metrics"]
+
+
+class TestAggregate:
+    def test_campaign_rows_follow_grid_order(self, tmp_path):
+        campaign = small_campaign(grid={"send_rate_gbps": [8.0, 4.0]})
+        store = ResultStore(tmp_path / "grid.jsonl")
+        CampaignExecutor(workers=1).run_campaign(campaign, store=store)
+        rows = campaign_rows(
+            campaign, store.load(), metric_columns=["goodput_gain_percent"]
+        )
+        assert [row["send_rate_gbps"] for row in rows] == [8.0, 4.0]
+        assert all("goodput_gain_percent" in row for row in rows)
+
+    def test_campaign_rows_marks_missing_points(self):
+        campaign = small_campaign(grid={"send_rate_gbps": [4.0, 8.0]})
+        rows = campaign_rows(campaign, [], include_missing=True)
+        assert [row["status"] for row in rows] == ["pending", "pending"]
+        assert campaign_rows(campaign, []) == []
+
+    def test_group_rows_reductions(self):
+        rows = [
+            {"chain": "fw", "gain": 10.0},
+            {"chain": "fw", "gain": 20.0},
+            {"chain": "nat", "gain": 5.0},
+        ]
+        grouped = group_rows(rows, by=["chain"], reductions={"gain": "mean"})
+        assert grouped == [{"chain": "fw", "gain": 15.0}, {"chain": "nat", "gain": 5.0}]
+        with pytest.raises(ValueError):
+            group_rows(rows, by=["chain"], reductions={"gain": "median"})
+
+
+class TestFigurePorts:
+    def test_fig07_rows_match_legacy_direct_loop(self):
+        runner = ExperimentRunner(time_scale=FAST)
+        rates = (4.0, 10.5)
+        legacy = []
+        for rate in rates:
+            comparison = runner.compare(fw_nat_lb_10ge(send_rate_gbps=rate)).comparison
+            legacy.append(
+                {
+                    "send_rate_gbps": rate,
+                    "baseline_goodput_gbps": round(
+                        comparison.baseline.goodput_to_nf_gbps, 4
+                    ),
+                    "payloadpark_goodput_gbps": round(
+                        comparison.payloadpark.goodput_to_nf_gbps, 4
+                    ),
+                    "goodput_gain_percent": round(comparison.goodput_gain_percent, 2),
+                    "baseline_latency_us": round(comparison.baseline.avg_latency_us, 2),
+                    "payloadpark_latency_us": round(
+                        comparison.payloadpark.avg_latency_us, 2
+                    ),
+                    "baseline_healthy": comparison.baseline.healthy,
+                    "payloadpark_healthy": comparison.payloadpark.healthy,
+                }
+            )
+        assert fig07_goodput_latency.run(rates, runner=runner) == legacy
+
+    def test_fig14_rows_match_legacy_direct_loop(self):
+        runner = ExperimentRunner(time_scale=FAST)
+        fractions = (0.26,)
+        bounds, tolerance = (4.0, 12.0), 8.0
+        _rate, baseline_report = runner.peak_goodput(
+            build_scenario(RunSpec("memory_sweep", params={"sram_fraction": 0.26})),
+            deployment=DeploymentKind.BASELINE,
+            require_zero_premature_evictions=False,
+            rate_bounds_gbps=bounds,
+            tolerance_gbps=tolerance,
+        )
+        rate, report = runner.peak_goodput(
+            build_scenario(RunSpec("memory_sweep", params={"sram_fraction": 0.26})),
+            deployment=DeploymentKind.PAYLOADPARK,
+            require_zero_premature_evictions=True,
+            rate_bounds_gbps=bounds,
+            tolerance_gbps=tolerance,
+        )
+        legacy = [
+            {
+                "sram_fraction_percent": 26.0,
+                "peak_send_rate_gbps": round(rate, 2),
+                "peak_goodput_gbps": round(report.goodput_to_nf_gbps, 4),
+                "premature_evictions": report.premature_evictions,
+                "drop_rate": round(report.drop_rate, 5),
+                "baseline_peak_goodput_gbps": round(
+                    baseline_report.goodput_to_nf_gbps, 4
+                ),
+            }
+        ]
+        assert (
+            fig14_memory_sweep.run(
+                fractions,
+                runner=runner,
+                rate_bounds_gbps=bounds,
+                tolerance_gbps=tolerance,
+            )
+            == legacy
+        )
