@@ -1,0 +1,86 @@
+"""Benchmark: packet-generation throughput of the workload subsystem.
+
+Measures packets/second of each registered generative workload's packet
+source against the legacy :class:`~repro.traffic.pktgen.PacketFactory`
+baseline, plus the cost of full trace materialization (packet build +
+arrival-gap sampling, the ``repro workload preview`` path).  Generation
+must stay far faster than the simulator consumes packets, or the
+workload layer would become the experiment bottleneck.
+"""
+
+import sys
+import time
+
+from repro.traffic.pktgen import PacketFactory, PktGenConfig
+from repro.traffic.workload import Workload
+from repro.workloads import get_workload, workload_names
+from repro.workloads.generative import GenerativeWorkload
+
+#: Packets generated per measured leg.
+PACKETS = 20_000
+
+
+def _pps(build_next, count=PACKETS) -> float:
+    started = time.perf_counter()
+    for _ in range(count):
+        build_next()
+    return count / (time.perf_counter() - started)
+
+
+def _legacy_factory_pps() -> float:
+    factory = PacketFactory(
+        PktGenConfig(rate_gbps=8.0, workload=Workload.enterprise(), seed=1)
+    )
+    return _pps(factory.next_packet)
+
+
+def run() -> list:
+    rows = [
+        {
+            "generator": "PacketFactory (legacy)",
+            "packets_per_sec": round(_legacy_factory_pps()),
+            "trace_packets_per_sec": "-",
+        }
+    ]
+    for name in workload_names():
+        spec = get_workload(name)
+        if isinstance(spec, GenerativeWorkload):
+            source = spec.packet_source(seed=1)
+            source_pps = round(_pps(source.next_packet))
+        else:
+            source_pps = "-"
+        started = time.perf_counter()
+        spec.trace(seed=1, max_packets=PACKETS)
+        trace_pps = round(PACKETS / (time.perf_counter() - started))
+        rows.append(
+            {
+                "generator": name,
+                "packets_per_sec": source_pps,
+                "trace_packets_per_sec": trace_pps,
+            }
+        )
+    return rows
+
+
+def test_workload_generation_throughput(benchmark):
+    from _harness import run_figure
+
+    rows = run_figure(
+        benchmark,
+        "Workload generation throughput (packets/sec)",
+        run,
+        columns=["generator", "packets_per_sec", "trace_packets_per_sec"],
+    )
+    legacy = rows[0]["packets_per_sec"]
+    for row in rows[1:]:
+        if row["packets_per_sec"] == "-":
+            continue
+        # Generative sources must stay within 5x of the legacy factory.
+        assert row["packets_per_sec"] * 5 > legacy, row
+
+
+if __name__ == "__main__":
+    from repro.telemetry.report import render_table
+
+    print(render_table(run()))
+    sys.exit(0)

@@ -10,6 +10,9 @@ Usage::
     python -m repro campaign run sweep.yaml  # parallel declarative sweep
     python -m repro campaign status sweep.yaml
     python -m repro campaign report sweep.yaml
+    python -m repro workload list            # named generative/replay workloads
+    python -m repro workload describe bursty-mmpp
+    python -m repro workload preview incast-sync --packets 5000
 
 The ``run``/``quickstart`` commands are thin wrappers over the modules in
 :mod:`repro.experiments`; ``campaign`` drives the
@@ -157,6 +160,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--columns", default=None,
         help="comma-separated metric columns (default: all)",
     )
+
+    workload_parser = subparsers.add_parser(
+        "workload", help="inspect and preview named traffic workloads"
+    )
+    workload_sub = workload_parser.add_subparsers(dest="workload_command")
+
+    workload_list = workload_sub.add_parser("list", help="list registered workloads")
+    workload_list.add_argument(
+        "--names", action="store_true", help="print bare names only, one per line"
+    )
+
+    workload_describe = workload_sub.add_parser(
+        "describe", help="show one workload's composition"
+    )
+    workload_describe.add_argument("name", help="workload name (see 'workload list')")
+    workload_describe.add_argument(
+        "--pcap", default=None,
+        help="replay this capture instead of the built-in one (pcap-replay only)",
+    )
+
+    workload_preview = workload_sub.add_parser(
+        "preview",
+        help="materialize the first N packets and print summary statistics "
+             "(no simulation run)",
+    )
+    workload_preview.add_argument("name", help="workload name (see 'workload list')")
+    workload_preview.add_argument(
+        "--packets", type=int, default=2000, help="trace length (default 2000)"
+    )
+    workload_preview.add_argument(
+        "--seed", type=int, default=None,
+        help="trace seed (default: the experiments' default seed)",
+    )
+    workload_preview.add_argument(
+        "--rate", type=float, default=None,
+        help="rescale the workload's mean offered rate (Gbps)",
+    )
+    workload_preview.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    workload_preview.add_argument(
+        "--pcap", default=None,
+        help="replay this capture instead of the built-in one (pcap-replay only)",
+    )
     return parser
 
 
@@ -264,6 +311,70 @@ def _campaign_report(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# Workload subcommands
+# ---------------------------------------------------------------------- #
+
+
+def _resolve_workload(args):
+    """The spec named on the command line (or an ad-hoc PCAP replay)."""
+    from repro.workloads import PcapReplayWorkload, get_workload
+
+    if getattr(args, "pcap", None):
+        if args.name != "pcap-replay":
+            raise ValueError("--pcap is only valid with the 'pcap-replay' workload")
+        return PcapReplayWorkload.from_file(args.pcap)
+    return get_workload(args.name)
+
+
+def _workload_list(args) -> int:
+    from repro.workloads import get_workload, workload_names
+
+    names = workload_names()
+    if args.names:
+        for name in names:
+            print(name)
+        return 0
+    width = max(len(name) for name in names)
+    for name in names:
+        spec = get_workload(name)
+        print(f"{name.ljust(width)}  [{spec.kind}] {spec.description}")
+    return 0
+
+
+def _workload_describe(args) -> int:
+    info = _resolve_workload(args).describe()
+    width = max(len(key) for key in info)
+    for key, value in info.items():
+        print(f"{key.ljust(width)}  {value}")
+    return 0
+
+
+def _workload_preview(args) -> int:
+    from repro.experiments.runner import current_default_seed
+    from repro.telemetry.report import render_table
+    from repro.workloads import summarize
+
+    if args.packets <= 0:
+        raise ValueError("--packets must be positive")
+    if args.rate is not None and args.rate <= 0:
+        raise ValueError("--rate must be positive")
+    spec = _resolve_workload(args)
+    seed = args.seed if args.seed is not None else current_default_seed()
+    trace = spec.trace(seed, args.packets, rate_gbps=args.rate)
+    summary = summarize(trace)
+    if args.json:
+        json.dump(
+            {"workload": spec.name, "seed": seed, "summary": summary.as_row()},
+            sys.stdout,
+            indent=2,
+        )
+        print()
+    else:
+        print(render_table([{"workload": spec.name, "seed": seed, **summary.as_row()}]))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -296,6 +407,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             "report": _campaign_report,
         }
         handler = handlers.get(args.campaign_command)
+        if handler is None:
+            parser.print_help()
+            return 1
+        try:
+            return handler(args)
+        except (ValueError, RuntimeError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "workload":
+        handlers = {
+            "list": _workload_list,
+            "describe": _workload_describe,
+            "preview": _workload_preview,
+        }
+        handler = handlers.get(args.workload_command)
         if handler is None:
             parser.print_help()
             return 1

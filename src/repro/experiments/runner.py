@@ -28,6 +28,7 @@ from repro.telemetry.latency import LatencyRecorder
 from repro.telemetry.report import ComparisonReport, DeploymentReport
 from repro.traffic.pktgen import PktGenConfig
 from repro.traffic.workload import Workload
+from repro.workloads.base import TrafficModel
 
 
 class DeploymentKind(enum.Enum):
@@ -127,10 +128,24 @@ class ScenarioConfig:
     gen_link_gbps: float = 100.0
     seed: int = field(default_factory=current_default_seed)
     switch_latency_ns: int = 800
+    burst_size: int = 32
+    #: Optional dynamic traffic bundle (schedule, arrival model, packet
+    #: source, replay stream) built by the workload subsystem; None keeps
+    #: the legacy constant-rate PacketFactory path.
+    traffic_model: Optional[TrafficModel] = None
 
     def with_rate(self, rate_gbps: float) -> "ScenarioConfig":
-        """A copy of this scenario at a different offered rate."""
-        return replace(self, send_rate_gbps=rate_gbps)
+        """A copy of this scenario at a different offered rate.
+
+        Workload-driven scenarios keep their traffic model in step: a
+        schedule or replay stream carries its own rate, so it must be
+        rebuilt at the new mean or rate probes (the peak-goodput search)
+        would keep offering the nominal load.
+        """
+        traffic_model = self.traffic_model
+        if traffic_model is not None and traffic_model.rescale is not None:
+            traffic_model = traffic_model.rescale(rate_gbps)
+        return replace(self, send_rate_gbps=rate_gbps, traffic_model=traffic_model)
 
     def with_payloadpark(self, config: PayloadParkConfig) -> "ScenarioConfig":
         """A copy of this scenario with different PayloadPark parameters."""
@@ -190,6 +205,7 @@ class ExperimentRunner:
         pktgen_config = PktGenConfig(
             rate_gbps=scenario.send_rate_gbps,
             workload=scenario.workload,
+            burst_size=scenario.burst_size,
             seed=scenario.seed,
         )
         topology = SingleServerTopology(
@@ -199,6 +215,7 @@ class ExperimentRunner:
             pktgen_config=pktgen_config,
             nic_spec=scenario.nic,
             gen_link_gbps=scenario.gen_link_gbps,
+            traffic_model=scenario.traffic_model,
         )
         return self._execute(scenario, deployment, topology, program)[0]
 
@@ -227,6 +244,7 @@ class ExperimentRunner:
             PktGenConfig(
                 rate_gbps=scenario.send_rate_gbps,
                 workload=scenario.workload,
+                burst_size=scenario.burst_size,
                 seed=scenario.seed + index,
             )
             for index in range(len(bindings))
@@ -238,6 +256,7 @@ class ExperimentRunner:
             pktgen_configs=pktgen_configs,
             nic_spec=scenario.nic,
             gen_link_gbps=scenario.gen_link_gbps,
+            traffic_model=scenario.traffic_model,
         )
         return self._execute(scenario, deployment, topology, program)
 

@@ -9,6 +9,7 @@ rate, packet size, expiry threshold, reserved memory, …).
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Optional
 
 from repro.core.config import PayloadParkConfig
 from repro.experiments import chains
@@ -167,6 +168,48 @@ def small_packet_40ge(send_rate_gbps: float = 30.0) -> ScenarioConfig:
         workload=Workload.fixed_size(512),
         send_rate_gbps=send_rate_gbps,
         payloadpark=MACRO_PP_CONFIG,
+    )
+
+
+#: Chain names accepted by :func:`workload_scenario`.
+_WORKLOAD_CHAINS = {
+    "fw_nat": lambda: chains.fw_nat(rule_count=1),
+    "fw_nat_lb": lambda: chains.fw_nat_lb(rule_count=20),
+    "firewall": lambda: chains.firewall_only(rule_count=1),
+    "nat": chains.nat_only,
+    "macswap": chains.mac_swapper,
+}
+
+
+def workload_scenario(
+    workload: str = "enterprise-poisson",
+    send_rate_gbps: Optional[float] = None,
+    chain: str = "fw_nat",
+) -> ScenarioConfig:
+    """A named workload from the registry behind the standard macro setup.
+
+    This is the entry point campaigns use to sweep workload × rate ×
+    memory grids: ``workload`` names a registered generative or replay
+    model, ``send_rate_gbps`` rescales its mean offered load (defaulting
+    to the workload's nominal rate), and every other campaign override
+    (``sram_fraction``, ``expiry_threshold``, …) applies as usual.
+    """
+    from repro.workloads.registry import get_workload
+
+    spec = get_workload(workload)
+    if chain not in _WORKLOAD_CHAINS:
+        raise ValueError(f"unknown chain {chain!r}; expected one of {sorted(_WORKLOAD_CHAINS)}")
+    rate = send_rate_gbps if send_rate_gbps is not None else spec.nominal_rate_gbps()
+    return ScenarioConfig(
+        name=f"workload-{spec.name}",
+        chain_factory=_WORKLOAD_CHAINS[chain](),
+        framework=OPENNETVM,
+        nic=NIC_10GE,
+        workload=spec.workload(),
+        send_rate_gbps=rate,
+        payloadpark=MACRO_PP_CONFIG,
+        traffic_model=spec.traffic_model(rate),
+        burst_size=spec.burst_size,
     )
 
 

@@ -25,6 +25,7 @@ from repro.netsim.switch_node import SwitchNode
 from repro.netsim.trafficgen_node import TrafficGenNode
 from repro.nf.server import NfServerModel
 from repro.traffic.pktgen import PktGenConfig
+from repro.workloads.base import TrafficModel
 
 #: Default egress-buffer size of a switch port (bytes); the baseline's
 #: latency cliff at link saturation comes from this buffer filling up.
@@ -62,6 +63,7 @@ class BaseTopology:
         server_link_gbps: Optional[float] = None,
         port_buffer_bytes: int = DEFAULT_PORT_BUFFER_BYTES,
         seed: int = 1,
+        traffic_model: Optional[TrafficModel] = None,
     ) -> ServerAttachment:
         """Wire one binding: a PktGen on the ingress ports, a server on the NF port."""
         pktgen = TrafficGenNode(
@@ -69,6 +71,7 @@ class BaseTopology:
             pktgen_config,
             tx_ports=list(range(len(binding.ingress_ports))),
             name=f"pktgen-{binding.name}",
+            traffic_model=traffic_model,
         )
         gen_links = []
         for local_port, switch_port in enumerate(binding.ingress_ports):
@@ -152,6 +155,7 @@ class SingleServerTopology(BaseTopology):
         server_link_gbps: Optional[float] = None,
         port_buffer_bytes: int = DEFAULT_PORT_BUFFER_BYTES,
         seed: int = 1,
+        traffic_model: Optional[TrafficModel] = None,
     ) -> None:
         super().__init__(env, program)
         if len(program.bindings) != 1:
@@ -165,6 +169,7 @@ class SingleServerTopology(BaseTopology):
             server_link_gbps=server_link_gbps,
             port_buffer_bytes=port_buffer_bytes,
             seed=seed,
+            traffic_model=traffic_model,
         )
 
     @property
@@ -191,6 +196,7 @@ class MultiServerTopology(BaseTopology):
         gen_link_gbps: float = 100.0,
         server_link_gbps: Optional[float] = None,
         port_buffer_bytes: int = DEFAULT_PORT_BUFFER_BYTES,
+        traffic_model: Optional[TrafficModel] = None,
     ) -> None:
         super().__init__(env, program)
         bindings = program.bindings
@@ -210,4 +216,5 @@ class MultiServerTopology(BaseTopology):
                 server_link_gbps=server_link_gbps,
                 port_buffer_bytes=port_buffer_bytes,
                 seed=index + 1,
+                traffic_model=traffic_model,
             )

@@ -4,17 +4,30 @@ One node plays both roles the PktGen server plays in the paper's
 testbed: it offers load into the switch through (usually two) ports and
 it receives the packets that come back after the NF chain, measuring
 end-to-end latency, delivered goodput and drop rate.
+
+Beyond the legacy constant-rate path, a node can carry a
+:class:`~repro.workloads.base.TrafficModel`: a time-varying
+:class:`~repro.workloads.schedule.TraceSchedule` modulates the burst
+pacing (including silent zero-rate phases), an arrival model perturbs
+the gaps (Poisson/MMPP/incast), a custom packet source replaces the
+:class:`~repro.traffic.pktgen.PacketFactory`, and a timed replay stream
+plays captured frames verbatim onto the event loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.netsim.eventloop import EventLoop
 from repro.netsim.node import Node
 from repro.packet.packet import Packet
 from repro.telemetry.latency import LatencyRecorder
 from repro.traffic.pktgen import PacketFactory, PktGenConfig
+from repro.workloads.base import TimedFrame, TrafficModel, derived_rng
+
+#: RNG salt for arrival-gap sampling (kept distinct from the packet
+#: content RNG so pacing noise never perturbs generated frames).
+_ARRIVALS_SALT = 1
 
 
 class TrafficGenNode(Node):
@@ -26,15 +39,33 @@ class TrafficGenNode(Node):
         config: PktGenConfig,
         tx_ports: Optional[List[int]] = None,
         name: str = "pktgen",
+        traffic_model: Optional[TrafficModel] = None,
     ) -> None:
         super().__init__(env, name)
         self.config = config
-        self.factory = PacketFactory(config)
+        self.traffic_model = traffic_model
+        self.schedule = traffic_model.schedule if traffic_model else None
+        if traffic_model is not None and traffic_model.source_factory is not None:
+            self.source = traffic_model.source_factory(config)
+        else:
+            self.source = PacketFactory(config)
+        self.factory = self.source  # legacy alias; tests and tools peek at it
+        if traffic_model is not None and traffic_model.arrivals is not None:
+            self._gap_sampler = traffic_model.arrivals.sampler(
+                derived_rng(config.seed, _ARRIVALS_SALT)
+            )
+        else:
+            self._gap_sampler = None
+        self._stream_factory = traffic_model.stream_factory if traffic_model else None
+        self._loop_stream = traffic_model.loop_stream if traffic_model else True
+        self._stream_iter: Optional[Iterator[TimedFrame]] = None
+        self._stream_epoch_ns = 0
         self.tx_ports = list(tx_ports) if tx_ports is not None else [0, 1]
         if not self.tx_ports:
             raise ValueError("the traffic generator needs at least one TX port")
         self._port_cursor = 0
         self._running = False
+        self._start_ns = 0
         self._stop_at_ns: Optional[int] = None
         self.latency = LatencyRecorder()
         # Counters.
@@ -53,12 +84,34 @@ class TrafficGenNode(Node):
         if duration_ns <= 0:
             raise ValueError("duration_ns must be positive")
         self._running = True
+        self._start_ns = self.env.now
         self._stop_at_ns = self.env.now + duration_ns
-        self.env.schedule_in(0, self._emit_burst)
+        if self._stream_factory is not None:
+            self._stream_iter = self._stream_factory(self.config.seed)
+            self._stream_epoch_ns = self.env.now
+            self._pump_stream()
+        else:
+            self.env.schedule_in(0, self._emit_burst)
 
     def stop(self) -> None:
         """Stop offering load (already-queued frames still drain)."""
         self._running = False
+
+    def current_rate_gbps(self) -> float:
+        """The offered rate right now (schedule-aware)."""
+        if self.schedule is None:
+            return self.config.rate_gbps
+        return self.schedule.rate_at(self.env.now - self._start_ns)
+
+    def _transmit(self, packet: Packet) -> None:
+        """Stamp, count and send one frame out the next TX port."""
+        packet.meta["tx_ns"] = self.env.now
+        packet.meta["generator"] = self.name
+        port = self.tx_ports[self._port_cursor]
+        self._port_cursor = (self._port_cursor + 1) % len(self.tx_ports)
+        self.packets_sent += 1
+        self.bytes_sent += packet.wire_length
+        self.send_out(port, packet)
 
     def _emit_burst(self) -> None:
         if not self._running:
@@ -66,21 +119,73 @@ class TrafficGenNode(Node):
         if self._stop_at_ns is not None and self.env.now >= self._stop_at_ns:
             self._running = False
             return
+        rate_gbps = self.current_rate_gbps()
+        if rate_gbps <= 0:
+            self._sleep_until_active()
+            return
         burst_bytes = 0
         for _ in range(self.config.burst_size):
-            packet = self.factory.next_packet()
-            packet.meta["tx_ns"] = self.env.now
-            packet.meta["generator"] = self.name
-            port = self.tx_ports[self._port_cursor]
-            self._port_cursor = (self._port_cursor + 1) % len(self.tx_ports)
-            wire = packet.wire_length
-            burst_bytes += wire
-            self.packets_sent += 1
-            self.bytes_sent += wire
-            self.send_out(port, packet)
-        # Pace the next burst so the long-run offered rate matches the config.
-        gap_ns = max(1, int(round(burst_bytes * 8 / self.config.rate_gbps)))
-        self.env.schedule_in(gap_ns, self._emit_burst)
+            packet = self.source.next_packet()
+            burst_bytes += packet.wire_length
+            self._transmit(packet)
+        # Pace the next burst so the long-run offered rate matches the
+        # schedule (or the config's constant rate); the arrival model
+        # perturbs individual gaps around that target.
+        target_gap_ns = burst_bytes * 8 / rate_gbps
+        if self._gap_sampler is not None:
+            gap_ns = self._gap_sampler.next_gap_ns(target_gap_ns)
+        else:
+            gap_ns = target_gap_ns
+        self.env.schedule_in(max(1, int(round(gap_ns))), self._emit_burst)
+
+    def _sleep_until_active(self) -> None:
+        """Skip a zero-rate phase: wake at the next moment the schedule is live."""
+        elapsed = self.env.now - self._start_ns
+        active = self.schedule.next_active(elapsed + 1) if self.schedule else None
+        if active is None:
+            self._running = False
+            return
+        wake_ns = self._start_ns + active
+        if self._stop_at_ns is not None and wake_ns >= self._stop_at_ns:
+            self._running = False
+            return
+        self.env.schedule_at(wake_ns, self._emit_burst)
+
+    # ------------------------------------------------------------------ #
+    # Replay streams
+    # ------------------------------------------------------------------ #
+
+    def _pump_stream(self) -> None:
+        """Schedule the next replayed frame (one outstanding at a time)."""
+        if not self._running:
+            return
+        try:
+            offset_ns, data = next(self._stream_iter)
+        except StopIteration:
+            if not self._loop_stream:
+                self._running = False
+                return
+            fresh = self._stream_factory(self.config.seed)
+            try:
+                offset_ns, data = next(fresh)
+            except StopIteration:  # an empty stream cannot loop
+                self._running = False
+                return
+            self._stream_iter = fresh
+            self._stream_epoch_ns = self.env.now + 1
+        when_ns = max(self._stream_epoch_ns + offset_ns, self.env.now)
+        if self._stop_at_ns is not None and when_ns >= self._stop_at_ns:
+            self._running = False
+            return
+        self.env.schedule_at(when_ns, lambda: self._send_stream_frame(data))
+
+    def _send_stream_frame(self, data: bytes) -> None:
+        if not self._running:
+            return
+        # Rebuild the packet from bytes so loop iterations never share
+        # mutable state (the switch attaches/detaches headers in place).
+        self._transmit(Packet.from_bytes(data))
+        self._pump_stream()
 
     # ------------------------------------------------------------------ #
     # Sink

@@ -42,6 +42,7 @@ SCENARIO_REGISTRY: Dict[str, Callable[..., ScenarioConfig]] = {
     "nf_cycles": scenarios.nf_cycles_scenario,
     "small_packet_40ge": scenarios.small_packet_40ge,
     "functional_equivalence": scenarios.functional_equivalence_scenario,
+    "workload": scenarios.workload_scenario,
 }
 
 #: Parameters applied directly onto :class:`ScenarioConfig` fields.
@@ -49,6 +50,7 @@ SCENARIO_OVERRIDES = frozenset(
     {
         "send_rate_gbps",
         "seed",
+        "burst_size",
         "server_count",
         "explicit_drop",
         "duration_us",

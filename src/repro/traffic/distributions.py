@@ -10,9 +10,10 @@ than 160 payload bytes (and therefore are not split by PayloadPark).
 from __future__ import annotations
 
 import bisect
+import math
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES
 
@@ -67,6 +68,11 @@ class EmpiricalDistribution(PacketSizeDistribution):
     def __init__(self, points: Sequence[Tuple[int, float]]) -> None:
         if not points:
             raise ValueError("an empirical distribution needs at least one point")
+        for _size, weight in points:
+            if weight < 0:
+                raise ValueError("probabilities cannot be negative")
+            if not math.isfinite(weight):
+                raise ValueError(f"probability {weight!r} is not finite")
         total = sum(weight for _size, weight in points)
         if total <= 0:
             raise ValueError("probabilities must sum to a positive value")
@@ -74,14 +80,55 @@ class EmpiricalDistribution(PacketSizeDistribution):
         self._cumulative: List[float] = []
         running = 0.0
         for size, weight in sorted(points):
-            if weight < 0:
-                raise ValueError("probabilities cannot be negative")
             if not MIN_FRAME_BYTES <= size <= MAX_FRAME_BYTES:
                 raise ValueError(f"size {size} outside [{MIN_FRAME_BYTES}, {MAX_FRAME_BYTES}]")
+            if self._sizes and size == self._sizes[-1]:
+                raise ValueError(f"duplicate size {size}; merge its probability mass first")
             running += weight / total
             self._sizes.append(size)
             self._cumulative.append(running)
         self._cumulative[-1] = 1.0
+
+    @classmethod
+    def from_cdf(cls, points: Sequence[Tuple[int, float]]) -> "EmpiricalDistribution":
+        """Build from ``(size, cumulative_probability)`` pairs, validated.
+
+        The pairs must be non-empty, with strictly increasing sizes,
+        strictly increasing cumulative values each inside ``(0, 1]``, and
+        a final value of 1.0.  Anything else would silently mis-sample
+        through :func:`bisect.bisect_left`, so it raises ``ValueError``
+        instead.
+        """
+        if not points:
+            raise ValueError("a CDF needs at least one point")
+        previous_size = None
+        previous_cumulative = 0.0
+        for size, cumulative in points:
+            if not isinstance(cumulative, (int, float)) or not math.isfinite(cumulative):
+                raise ValueError(f"CDF value {cumulative!r} is not a finite number")
+            if previous_size is not None and size <= previous_size:
+                raise ValueError(
+                    f"CDF sizes must be strictly increasing (got {size} after {previous_size})"
+                )
+            if not 0.0 < cumulative <= 1.0:
+                raise ValueError(f"CDF value {cumulative} outside (0, 1]")
+            if cumulative <= previous_cumulative:
+                raise ValueError(
+                    "CDF values must be strictly increasing "
+                    f"(got {cumulative} after {previous_cumulative})"
+                )
+            if not MIN_FRAME_BYTES <= size <= MAX_FRAME_BYTES:
+                raise ValueError(f"size {size} outside [{MIN_FRAME_BYTES}, {MAX_FRAME_BYTES}]")
+            previous_size = size
+            previous_cumulative = cumulative
+        if abs(points[-1][1] - 1.0) > 1e-9:
+            raise ValueError(f"CDF must end at 1.0, got {points[-1][1]}")
+        weights: List[Tuple[int, float]] = []
+        previous_cumulative = 0.0
+        for size, cumulative in points:
+            weights.append((size, cumulative - previous_cumulative))
+            previous_cumulative = cumulative
+        return cls(weights)
 
     def sample(self, rng: random.Random) -> int:
         position = rng.random()
@@ -109,6 +156,87 @@ class EmpiricalDistribution(PacketSizeDistribution):
             else:
                 break
         return fraction
+
+
+def _clamped_numeric_mean(cdf: Callable[[float], float]) -> float:
+    """Mean of a size law clamped to the legal frame range.
+
+    Uses the tail-sum identity ``E[X] = min + Σ P(X > s)`` over the
+    integer frame sizes, which is exact for the integer-truncated samples
+    the ``sample`` implementations return (up to truncation rounding).
+    """
+    return MIN_FRAME_BYTES + sum(
+        1.0 - cdf(size) for size in range(MIN_FRAME_BYTES, MAX_FRAME_BYTES)
+    )
+
+
+def _analytic_cdf_points(cdf: Callable[[float], float]) -> List[Tuple[int, float]]:
+    """A plotting-density grid of ``(size, cumulative)`` pairs."""
+    sizes = list(range(MIN_FRAME_BYTES, MAX_FRAME_BYTES, 50)) + [MAX_FRAME_BYTES]
+    return [(size, cdf(size) if size < MAX_FRAME_BYTES else 1.0) for size in sizes]
+
+
+class ParetoSizeDistribution(PacketSizeDistribution):
+    """Heavy-tailed (Pareto) frame sizes, clamped to the legal frame range.
+
+    Most frames are small; a power-law tail reaches the MTU, mimicking
+    mice-dominated datacenter traffic with elephant transfers.
+    """
+
+    def __init__(self, shape: float = 1.3, scale: float = 120.0) -> None:
+        if shape <= 0:
+            raise ValueError("shape must be positive")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.shape = shape
+        self.scale = scale
+        self._mean: float = None  # type: ignore[assignment]
+
+    def _cdf(self, size: float) -> float:
+        if size <= self.scale:
+            return 0.0
+        return 1.0 - (self.scale / size) ** self.shape
+
+    def sample(self, rng: random.Random) -> int:
+        size = int(rng.paretovariate(self.shape) * self.scale)
+        return min(max(size, MIN_FRAME_BYTES), MAX_FRAME_BYTES)
+
+    def mean(self) -> float:
+        if self._mean is None:
+            self._mean = _clamped_numeric_mean(self._cdf)
+        return self._mean
+
+    def cdf_points(self) -> List[Tuple[int, float]]:
+        return _analytic_cdf_points(self._cdf)
+
+
+class LognormalSizeDistribution(PacketSizeDistribution):
+    """Lognormal frame sizes, clamped to the legal frame range."""
+
+    def __init__(self, mu: float = 6.0, sigma: float = 0.8) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.mu = mu
+        self.sigma = sigma
+        self._mean: float = None  # type: ignore[assignment]
+
+    def _cdf(self, size: float) -> float:
+        if size <= 0:
+            return 0.0
+        z = (math.log(size) - self.mu) / (self.sigma * math.sqrt(2.0))
+        return 0.5 * (1.0 + math.erf(z))
+
+    def sample(self, rng: random.Random) -> int:
+        size = int(rng.lognormvariate(self.mu, self.sigma))
+        return min(max(size, MIN_FRAME_BYTES), MAX_FRAME_BYTES)
+
+    def mean(self) -> float:
+        if self._mean is None:
+            self._mean = _clamped_numeric_mean(self._cdf)
+        return self._mean
+
+    def cdf_points(self) -> List[Tuple[int, float]]:
+        return _analytic_cdf_points(self._cdf)
 
 
 def enterprise_datacenter_distribution() -> EmpiricalDistribution:

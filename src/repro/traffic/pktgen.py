@@ -21,6 +21,43 @@ from repro.traffic.workload import BLACKLISTED_SUBNET, Workload
 #: the generator does not allocate fresh payload bytes per packet.
 _PAYLOAD_PATTERN = bytes(range(256)) * 8
 
+_BLACKLIST_BASE = IPv4Address.from_string(BLACKLISTED_SUBNET).value
+
+
+def blacklisted_source(index: int) -> IPv4Address:
+    """The *index*-th address inside the firewall's blacklisted subnet."""
+    return IPv4Address(_BLACKLIST_BASE + (index % 65_000) + 1)
+
+
+def build_udp_frame(
+    size: int,
+    flow,
+    src_mac: str,
+    dst_mac: str,
+    src_ip: Optional[str] = None,
+) -> Packet:
+    """Build one UDP frame of *size* wire bytes for *flow*.
+
+    The single frame-construction path shared by :class:`PacketFactory`
+    and the workload subsystem's generative sources: payload bytes are
+    slices of the reusable pattern, and *src_ip* (when given) overrides
+    the flow's source for blacklist steering.
+    """
+    size = max(size, ETHERNET_UDP_HEADER_BYTES)
+    payload_len = size - ETHERNET_UDP_HEADER_BYTES
+    payload = _PAYLOAD_PATTERN[:payload_len]
+    if len(payload) < payload_len:
+        payload = (_PAYLOAD_PATTERN * (payload_len // len(_PAYLOAD_PATTERN) + 1))[:payload_len]
+    return Packet.udp(
+        src_mac=src_mac,
+        dst_mac=dst_mac,
+        src_ip=src_ip if src_ip is not None else str(flow.src_ip),
+        dst_ip=str(flow.dst_ip),
+        src_port=flow.src_port,
+        dst_port=flow.dst_port,
+        payload=payload,
+    )
+
 
 @dataclass
 class PktGenConfig:
@@ -65,34 +102,26 @@ class PacketFactory:
         self._rng = random.Random(config.seed)
         self._flows = config.workload.flows.flows()
         self._flow_cursor = 0
-        self._blacklist_base = IPv4Address.from_string(BLACKLISTED_SUBNET).value
         self.packets_built = 0
 
     def next_packet(self) -> Packet:
         """Build the next frame (size, flow and blacklist marking)."""
         workload = self.config.workload
         size = workload.sizes.sample(self._rng)
-        size = max(size, ETHERNET_UDP_HEADER_BYTES)
         flow = self._flows[self._flow_cursor]
         self._flow_cursor = (self._flow_cursor + 1) % len(self._flows)
 
-        src_ip = flow.src_ip
+        src_ip = None
         if workload.blacklisted_fraction > 0 and self._rng.random() < workload.blacklisted_fraction:
             # Steer this packet into the firewall's blacklisted subnet.
-            src_ip = IPv4Address(self._blacklist_base + (self.packets_built % 65_000) + 1)
+            src_ip = str(blacklisted_source(self.packets_built))
 
-        payload_len = size - ETHERNET_UDP_HEADER_BYTES
-        payload = _PAYLOAD_PATTERN[:payload_len]
-        if len(payload) < payload_len:
-            payload = (_PAYLOAD_PATTERN * (payload_len // len(_PAYLOAD_PATTERN) + 1))[:payload_len]
-        packet = Packet.udp(
+        packet = build_udp_frame(
+            size,
+            flow,
             src_mac=self.config.src_mac,
             dst_mac=self.config.dst_mac,
-            src_ip=str(src_ip),
-            dst_ip=str(flow.dst_ip),
-            src_port=flow.src_port,
-            dst_port=flow.dst_port,
-            payload=payload,
+            src_ip=src_ip,
         )
         self.packets_built += 1
         return packet

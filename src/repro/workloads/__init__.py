@@ -1,0 +1,67 @@
+"""Generative traffic models, time-varying schedules and PCAP replay.
+
+This package is the layer between the traffic primitives
+(:mod:`repro.traffic`) and the experiments: it composes arrival
+processes, flow-population models, frame-size laws and offered-load
+schedules into named workloads that the simulator, the campaign
+orchestrator and the ``repro workload`` CLI all consume.
+"""
+
+from repro.workloads.arrivals import (
+    ArrivalModel,
+    IncastArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+)
+from repro.workloads.base import TrafficModel, WorkloadSpec, derived_rng
+from repro.workloads.flowmodels import (
+    ChurnFlows,
+    FlowModel,
+    HeavyTailFlows,
+    RoundRobinFlows,
+)
+from repro.workloads.generative import GenerativePacketSource, GenerativeWorkload
+from repro.workloads.registry import (
+    WORKLOAD_REGISTRY,
+    get_workload,
+    register_workload,
+    workload_names,
+)
+from repro.workloads.replay import PcapReplayWorkload, synthetic_enterprise_capture
+from repro.workloads.schedule import RatePhase, TraceSchedule
+from repro.workloads.stats import (
+    SMALL_FRAME_THRESHOLD_BYTES,
+    TracedPacket,
+    WorkloadSummary,
+    summarize,
+)
+
+__all__ = [
+    "ArrivalModel",
+    "ChurnFlows",
+    "FlowModel",
+    "GenerativePacketSource",
+    "GenerativeWorkload",
+    "HeavyTailFlows",
+    "IncastArrivals",
+    "MMPPArrivals",
+    "PcapReplayWorkload",
+    "PoissonArrivals",
+    "RatePhase",
+    "RoundRobinFlows",
+    "SMALL_FRAME_THRESHOLD_BYTES",
+    "TraceSchedule",
+    "TracedPacket",
+    "TrafficModel",
+    "UniformArrivals",
+    "WORKLOAD_REGISTRY",
+    "WorkloadSpec",
+    "WorkloadSummary",
+    "derived_rng",
+    "get_workload",
+    "register_workload",
+    "summarize",
+    "synthetic_enterprise_capture",
+    "workload_names",
+]

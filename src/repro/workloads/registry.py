@@ -1,0 +1,157 @@
+"""The named-workload registry.
+
+Every workload here is runnable three ways with zero setup: previewed
+with ``repro workload preview <name>``, run standalone through the
+``workload`` scenario (``repro.experiments.scenarios.workload_scenario``),
+and swept by campaigns (``grid: {workload: [...]}``).
+
+Builders, not instances, are registered: each lookup constructs a fresh
+spec so stateful pieces (replay streams, flow samplers) never leak
+between runs, and construction cost is only paid for workloads actually
+used.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.traffic.distributions import (
+    EmpiricalDistribution,
+    FixedSizeDistribution,
+    ParetoSizeDistribution,
+    enterprise_datacenter_distribution,
+)
+from repro.workloads.arrivals import IncastArrivals, MMPPArrivals, PoissonArrivals
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.flowmodels import ChurnFlows, HeavyTailFlows, RoundRobinFlows
+from repro.workloads.generative import GenerativeWorkload
+from repro.workloads.replay import PcapReplayWorkload
+from repro.workloads.schedule import TraceSchedule
+
+#: Workload name → zero-argument builder returning a fresh spec.
+WORKLOAD_REGISTRY: Dict[str, Callable[[], WorkloadSpec]] = {}
+
+
+def register_workload(name: str, builder: Callable[[], WorkloadSpec]) -> None:
+    """Add *builder* under *name*; duplicate names are an error."""
+    if name in WORKLOAD_REGISTRY:
+        raise ValueError(f"workload {name!r} is already registered")
+    WORKLOAD_REGISTRY[name] = builder
+
+
+def workload_names() -> List[str]:
+    """Sorted registered workload names."""
+    return sorted(WORKLOAD_REGISTRY)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Build a fresh spec for *name* (``ValueError`` on unknown names)."""
+    builder = WORKLOAD_REGISTRY.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of {workload_names()}"
+        )
+    return builder()
+
+
+# ---------------------------------------------------------------------- #
+# Built-in workloads
+# ---------------------------------------------------------------------- #
+
+
+def _enterprise_poisson() -> WorkloadSpec:
+    return GenerativeWorkload(
+        name="enterprise-poisson",
+        description="Benson enterprise size mix, Poisson arrivals, 4096 flows",
+        sizes=enterprise_datacenter_distribution(),
+        flows=RoundRobinFlows(flow_count=4096),
+        arrivals=PoissonArrivals(),
+        rate_gbps=8.0,
+    )
+
+
+def _bursty_mmpp() -> WorkloadSpec:
+    return GenerativeWorkload(
+        name="bursty-mmpp",
+        description="on/off MMPP bursts (3x rate in bursts) over the enterprise mix",
+        sizes=enterprise_datacenter_distribution(),
+        flows=RoundRobinFlows(flow_count=4096),
+        arrivals=MMPPArrivals(on_fraction=0.25, burst_factor=3.0, mean_residence_events=64),
+        rate_gbps=8.0,
+    )
+
+
+def _incast_sync() -> WorkloadSpec:
+    # Small response frames bunched by fan-in synchronization: the worst
+    # case for switch egress buffers and a torture test for parking-slot
+    # occupancy spikes.
+    sizes = EmpiricalDistribution([(64, 0.20), (128, 0.25), (256, 0.35), (512, 0.20)])
+    return GenerativeWorkload(
+        name="incast-sync",
+        description="32-way fan-in bursts of small response frames",
+        sizes=sizes,
+        flows=RoundRobinFlows(flow_count=32 * 16),
+        arrivals=IncastArrivals(fan_in=32, duty=0.05),
+        rate_gbps=6.0,
+        burst_size=4,
+    )
+
+
+def _heavy_tail() -> WorkloadSpec:
+    return GenerativeWorkload(
+        name="heavy-tail",
+        description="Pareto frame sizes; 5% elephant flows carry 80% of packets",
+        sizes=ParetoSizeDistribution(shape=1.3, scale=120.0),
+        flows=HeavyTailFlows(flow_count=4096, elephant_fraction=0.05, elephant_weight=0.80),
+        arrivals=PoissonArrivals(),
+        rate_gbps=8.0,
+    )
+
+
+def _flood_churn() -> WorkloadSpec:
+    # SYN-flood shape: minimum-size frames, every packet a fresh 5-tuple.
+    # No payload is ever parkable (64B frames), and flow churn maximizes
+    # parking-slot turnover pressure on the switch tables.
+    return GenerativeWorkload(
+        name="flood-churn",
+        description="64B-frame flood, fresh 5-tuple per packet (max slot churn)",
+        sizes=FixedSizeDistribution(64),
+        flows=ChurnFlows(packets_per_flow=1),
+        arrivals=PoissonArrivals(),
+        rate_gbps=4.0,
+    )
+
+
+def _rate_ramp() -> WorkloadSpec:
+    return GenerativeWorkload(
+        name="rate-ramp",
+        description="enterprise mix ramping 2 -> 12 Gbps over 4 ms",
+        sizes=enterprise_datacenter_distribution(),
+        flows=RoundRobinFlows(flow_count=4096),
+        schedule=TraceSchedule.ramp(2.0, 12.0, duration_ns=4_000_000),
+    )
+
+
+def _diurnal_steps() -> WorkloadSpec:
+    return GenerativeWorkload(
+        name="diurnal",
+        description="repeating day/night cycle between 3 and 11 Gbps (1 ms period)",
+        sizes=enterprise_datacenter_distribution(),
+        flows=RoundRobinFlows(flow_count=4096),
+        arrivals=PoissonArrivals(),
+        schedule=TraceSchedule.diurnal(3.0, 11.0, period_ns=1_000_000, segments=8),
+    )
+
+
+def _pcap_replay() -> WorkloadSpec:
+    return PcapReplayWorkload.synthetic(packet_count=512, seed=20, rate_gbps=8.0)
+
+
+register_workload("enterprise-poisson", _enterprise_poisson)
+register_workload("bursty-mmpp", _bursty_mmpp)
+register_workload("incast-sync", _incast_sync)
+register_workload("heavy-tail", _heavy_tail)
+register_workload("flood-churn", _flood_churn)
+register_workload("rate-ramp", _rate_ramp)
+register_workload("diurnal", _diurnal_steps)
+register_workload("pcap-replay", _pcap_replay)

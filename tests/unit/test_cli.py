@@ -115,3 +115,77 @@ class TestCampaignCli:
     def test_campaign_without_subcommand_shows_help(self, capsys):
         assert main(["campaign"]) == 1
         assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestWorkloadCli:
+    def test_list_prints_every_workload(self, capsys):
+        from repro.workloads import workload_names
+
+        assert main(["workload", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in workload_names():
+            assert name in output
+
+    def test_list_names_is_plain(self, capsys):
+        from repro.workloads import workload_names
+
+        assert main(["workload", "list", "--names"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == workload_names()
+
+    def test_describe_shows_composition(self, capsys):
+        assert main(["workload", "describe", "bursty-mmpp"]) == 0
+        output = capsys.readouterr().out
+        assert "mmpp" in output and "arrivals" in output
+
+    def test_preview_prints_summary_table(self, capsys):
+        assert main(["workload", "preview", "flood-churn", "--packets", "200"]) == 0
+        output = capsys.readouterr().out
+        assert "mean_rate_gbps" in output and "small_packet_fraction" in output
+
+    def test_preview_json_is_seed_reproducible(self, capsys):
+        argv = ["workload", "preview", "incast-sync", "--packets", "300",
+                "--seed", "5", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert first["seed"] == 5
+        assert first["summary"]["packets"] == 300
+
+    def test_preview_rate_rescales(self, capsys):
+        assert main(["workload", "preview", "enterprise-poisson", "--packets",
+                     "2000", "--rate", "16", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert abs(payload["summary"]["mean_rate_gbps"] - 16.0) / 16.0 < 0.2
+
+    def test_preview_unknown_workload_errors(self, capsys):
+        assert main(["workload", "preview", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_preview_rejects_nonpositive_rate_and_packets(self, capsys):
+        assert main(["workload", "preview", "enterprise-poisson", "--rate", "0"]) == 2
+        assert "--rate" in capsys.readouterr().err
+        assert main(["workload", "preview", "enterprise-poisson", "--rate", "-5"]) == 2
+        capsys.readouterr()
+        assert main(["workload", "preview", "enterprise-poisson", "--packets", "0"]) == 2
+        assert "--packets" in capsys.readouterr().err
+
+    def test_preview_custom_pcap(self, tmp_path, capsys):
+        from repro.packet.pcap import write_pcap
+        from repro.workloads import synthetic_enterprise_capture
+
+        records = synthetic_enterprise_capture(32, seed=9)
+        path = tmp_path / "cap.pcap"
+        write_pcap(path, [(r.timestamp, r.data) for r in records])
+        assert main(["workload", "preview", "pcap-replay", "--pcap", str(path),
+                     "--packets", "32", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["packets"] == 32
+        # --pcap is rejected for generative workloads.
+        assert main(["workload", "preview", "flood-churn", "--pcap", str(path)]) == 2
+
+    def test_workload_without_subcommand_shows_help(self, capsys):
+        assert main(["workload"]) == 1
+        assert "usage" in capsys.readouterr().out.lower()

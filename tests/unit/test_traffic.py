@@ -8,6 +8,10 @@ from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES
 from repro.traffic.distributions import (
     EmpiricalDistribution,
     FixedSizeDistribution,
+    LognormalSizeDistribution,
+    MAX_FRAME_BYTES,
+    MIN_FRAME_BYTES,
+    ParetoSizeDistribution,
     enterprise_datacenter_distribution,
     split_eligible_fraction,
 )
@@ -53,12 +57,89 @@ class TestDistributions:
         with pytest.raises(ValueError):
             EmpiricalDistribution([(10, 1.0)])
 
+    def test_empirical_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([(100, float("nan"))])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([(100, float("inf"))])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([(100, 0.5), (100, 0.5)])  # duplicate size
+
+    def test_from_cdf_builds_equivalent_distribution(self):
+        distribution = EmpiricalDistribution.from_cdf([(100, 0.2), (1000, 1.0)])
+        assert distribution.cdf_points() == [(100, pytest.approx(0.2)), (1000, 1.0)]
+        assert distribution.mean() == pytest.approx(0.2 * 100 + 0.8 * 1000)
+        rng = random.Random(5)
+        samples = [distribution.sample(rng) for _ in range(2000)]
+        assert sum(1 for s in samples if s == 100) / 2000 == pytest.approx(0.2, abs=0.03)
+
+    def test_from_cdf_validates_inputs(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution.from_cdf([])
+        with pytest.raises(ValueError):  # not sorted by size
+            EmpiricalDistribution.from_cdf([(1000, 0.5), (100, 1.0)])
+        with pytest.raises(ValueError):  # CDF not increasing
+            EmpiricalDistribution.from_cdf([(100, 0.8), (1000, 0.5)])
+        with pytest.raises(ValueError):  # value outside (0, 1]
+            EmpiricalDistribution.from_cdf([(100, 0.0), (1000, 1.0)])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution.from_cdf([(100, 0.5), (1000, 1.5)])
+        with pytest.raises(ValueError):  # does not end at 1.0
+            EmpiricalDistribution.from_cdf([(100, 0.2), (1000, 0.9)])
+        with pytest.raises(ValueError):  # duplicate size
+            EmpiricalDistribution.from_cdf([(100, 0.2), (100, 1.0)])
+        with pytest.raises(ValueError):  # non-finite CDF value
+            EmpiricalDistribution.from_cdf([(100, float("nan"))])
+
     def test_enterprise_distribution_matches_paper_statistics(self):
         distribution = enterprise_datacenter_distribution()
         assert distribution.mean() == pytest.approx(882, abs=25)
         small = distribution.fraction_below(ETHERNET_UDP_HEADER_BYTES + 160)
         assert small == pytest.approx(0.30, abs=0.03)
         assert split_eligible_fraction(distribution) == pytest.approx(0.70, abs=0.03)
+
+
+class TestAnalyticDistributions:
+    @pytest.mark.parametrize(
+        "distribution",
+        [ParetoSizeDistribution(), LognormalSizeDistribution()],
+    )
+    def test_samples_stay_in_frame_range(self, distribution):
+        rng = random.Random(4)
+        samples = [distribution.sample(rng) for _ in range(2000)]
+        assert min(samples) >= MIN_FRAME_BYTES
+        assert max(samples) <= MAX_FRAME_BYTES
+
+    @pytest.mark.parametrize(
+        "distribution",
+        [ParetoSizeDistribution(), LognormalSizeDistribution()],
+    )
+    def test_numeric_mean_matches_sampling(self, distribution):
+        rng = random.Random(4)
+        sampled = sum(distribution.sample(rng) for _ in range(20_000)) / 20_000
+        assert distribution.mean() == pytest.approx(sampled, rel=0.05)
+
+    def test_pareto_is_small_packet_heavy(self):
+        distribution = ParetoSizeDistribution(shape=1.3, scale=120.0)
+        rng = random.Random(4)
+        samples = [distribution.sample(rng) for _ in range(5000)]
+        small = sum(1 for s in samples if s < 202) / len(samples)
+        assert small > 0.4
+
+    def test_cdf_points_monotone(self):
+        for distribution in (ParetoSizeDistribution(), LognormalSizeDistribution()):
+            points = distribution.cdf_points()
+            values = [value for _size, value in points]
+            assert values == sorted(values)
+            assert points[-1] == (MAX_FRAME_BYTES, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParetoSizeDistribution(shape=0)
+        with pytest.raises(ValueError):
+            ParetoSizeDistribution(scale=-1)
+        with pytest.raises(ValueError):
+            LognormalSizeDistribution(sigma=0)
 
 
 class TestWorkload:

@@ -1,0 +1,104 @@
+"""Unit tests for time-varying offered-load schedules."""
+
+import pytest
+
+from repro.workloads.schedule import RatePhase, TraceSchedule
+
+
+class TestRatePhase:
+    def test_flat_phase_rate(self):
+        phase = RatePhase(1_000, 4.0, 4.0)
+        assert phase.rate_at(0) == 4.0
+        assert phase.rate_at(999) == 4.0
+        assert phase.mean_gbps() == 4.0
+
+    def test_ramp_interpolates_linearly(self):
+        phase = RatePhase(1_000, 2.0, 12.0)
+        assert phase.rate_at(0) == pytest.approx(2.0)
+        assert phase.rate_at(500) == pytest.approx(7.0)
+        assert phase.rate_at(1_000) == pytest.approx(12.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RatePhase(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            RatePhase(10, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            RatePhase(10, float("inf"), 1.0)
+
+
+class TestTraceSchedule:
+    def test_needs_phases_and_some_traffic(self):
+        with pytest.raises(ValueError):
+            TraceSchedule([])
+        with pytest.raises(ValueError):
+            TraceSchedule([RatePhase(100, 0.0, 0.0)])
+
+    def test_constant(self):
+        schedule = TraceSchedule.constant(8.0)
+        assert schedule.rate_at(0) == 8.0
+        assert schedule.rate_at(10**12) == 8.0
+        assert schedule.mean_gbps() == 8.0
+
+    def test_steps_and_transitions(self):
+        schedule = TraceSchedule.steps([(1_000, 2.0), (1_000, 0.0), (1_000, 6.0)])
+        assert schedule.rate_at(500) == 2.0
+        assert schedule.rate_at(1_500) == 0.0
+        assert schedule.rate_at(2_500) == 6.0
+        assert schedule.next_transition(0) == 1_000
+        assert schedule.next_transition(1_000) == 2_000
+        # Past the end of a non-repeating schedule the final rate holds.
+        assert schedule.rate_at(10_000) == 6.0
+        assert schedule.next_transition(10_000) is None
+
+    def test_next_active_skips_silent_phase(self):
+        schedule = TraceSchedule.steps([(1_000, 2.0), (1_000, 0.0), (1_000, 6.0)])
+        assert schedule.next_active(0) == 0
+        assert schedule.next_active(1_200) == 2_000
+
+    def test_next_active_on_zero_start_ramp(self):
+        schedule = TraceSchedule.ramp(0.0, 10.0, 1_000)
+        active = schedule.next_active(0)
+        assert active is not None
+        assert schedule.rate_at(active) > 0
+
+    def test_next_active_none_when_silent_forever(self):
+        schedule = TraceSchedule.steps([(1_000, 4.0), (1_000, 0.0)])
+        assert schedule.next_active(1_500) is None
+
+    def test_repeat_wraps_around(self):
+        schedule = TraceSchedule.steps([(1_000, 2.0), (1_000, 8.0)], repeat=True)
+        assert schedule.rate_at(2_500) == 2.0
+        assert schedule.rate_at(3_500) == 8.0
+        assert schedule.next_transition(2_500) == 3_000
+
+    def test_mean_and_scaling(self):
+        schedule = TraceSchedule.steps([(1_000, 2.0), (3_000, 10.0)])
+        assert schedule.mean_gbps() == pytest.approx(8.0)
+        scaled = schedule.with_mean(4.0)
+        assert scaled.mean_gbps() == pytest.approx(4.0)
+        assert scaled.rate_at(0) == pytest.approx(1.0)
+        assert scaled.peak_gbps() == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            schedule.scaled(0)
+
+    def test_ramp_rate_holds_after_end(self):
+        schedule = TraceSchedule.ramp(2.0, 12.0, 4_000)
+        assert schedule.rate_at(2_000) == pytest.approx(7.0)
+        assert schedule.rate_at(8_000) == pytest.approx(12.0)
+
+    def test_diurnal_cycles_between_bounds(self):
+        schedule = TraceSchedule.diurnal(3.0, 11.0, period_ns=8_000, segments=8)
+        rates = [schedule.rate_at(t) for t in range(0, 16_000, 500)]
+        assert min(rates) >= 3.0 - 1e-9
+        assert max(rates) <= 11.0 + 1e-9
+        assert schedule.rate_at(0) == pytest.approx(3.0)
+        # Repeats: one full period later the profile is identical.
+        assert schedule.rate_at(1_234) == pytest.approx(schedule.rate_at(9_234))
+        assert schedule.mean_gbps() == pytest.approx(7.0, rel=0.05)
+
+    def test_describe_mentions_every_phase(self):
+        schedule = TraceSchedule.steps([(1_000, 2.0), (1_000, 8.0)], repeat=True)
+        lines = schedule.describe()
+        assert len(lines) == 3
+        assert "(repeats)" in lines[-1]
