@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Benchmark the simulation fast path against the reference slow path.
+
+Runs the Fig. 7 scenario (FW -> NAT -> LB on a 10 GbE NIC) through both
+deployments on each simulation path and reports
+simulated-packets-per-wallclock-second plus the fast/slow speedup.
+Results are byte-identical between the two paths (the golden-figure
+suite asserts this); only wallclock differs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py            # full run
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --check    # vs baseline
+
+This is a thin wrapper over ``repro bench`` (see :mod:`repro.bench`);
+both share the committed reference numbers in
+``benchmarks/fastpath_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

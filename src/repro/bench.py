@@ -1,0 +1,182 @@
+"""Fast-path benchmark: simulated-packets-per-wallclock-second, fast vs slow.
+
+Backs the ``repro bench`` CLI subcommand and
+``benchmarks/bench_fastpath.py``.  The benchmark runs one scenario —
+the Fig. 7 FW → NAT → LB setup by default — through both deployments
+(baseline and PayloadPark) twice: once on the reference simulation path
+(``fast_path=False``: heapq event loop, string-parsed packet
+construction, per-stage table walks, live cost-model queries) and once
+on the fast path (calendar event loop, pooled packet templates,
+compiled/cached pipeline walks, memoized NF verdicts, precomputed cost
+model).  Both runs produce byte-identical reports — the golden-figure
+suite enforces that — so the only thing that differs is wallclock.
+
+The committed reference numbers live in
+``benchmarks/fastpath_baseline.json``; ``check_result`` compares a
+fresh measurement's speedup against them with a regression tolerance,
+which is what the CI bench smoke step runs.  Absolute packets/sec vary
+with the host, but the fast/slow *ratio* is fairly stable across
+machines, so the ratio is what the baseline pins.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.experiments.runner import (
+    DeploymentKind,
+    ExperimentRunner,
+    ScenarioConfig,
+    default_fast_path,
+)
+
+#: Scenario name -> builder(rate_gbps) for benchmarkable setups.
+BENCH_SCENARIOS: Dict[str, Callable[[float], ScenarioConfig]] = {}
+
+
+def _register_scenarios() -> None:
+    from repro.experiments import scenarios
+
+    BENCH_SCENARIOS.update(
+        {
+            "fig07": lambda rate: scenarios.fw_nat_lb_10ge(send_rate_gbps=rate),
+            "fig08": lambda rate: scenarios.fixed_size_40ge(
+                "fw_nat", 1024, send_rate_gbps=rate
+            ),
+            "fig16": lambda rate: scenarios.small_packet_40ge(send_rate_gbps=rate),
+        }
+    )
+
+
+_register_scenarios()
+
+#: Default operating point: the Fig. 7 scenario near baseline saturation,
+#: where both deployments carry real load.
+DEFAULT_SCENARIO = "fig07"
+DEFAULT_RATE_GBPS = 10.5
+DEFAULT_TIME_SCALE = 1.0
+QUICK_TIME_SCALE = 0.25
+
+#: CI fails when the measured speedup falls more than this fraction
+#: below the committed baseline speedup.
+DEFAULT_TOLERANCE = 0.30
+
+
+def _measure_mode(
+    build: Callable[[float], ScenarioConfig],
+    rate_gbps: float,
+    time_scale: float,
+    fast: bool,
+) -> Dict[str, float]:
+    """Run both deployments once in one mode; return wall time and packets."""
+    with default_fast_path(fast):
+        scenario = build(rate_gbps)
+        runner = ExperimentRunner(time_scale=time_scale)
+        started = time.perf_counter()
+        baseline = runner.run_deployment(scenario, DeploymentKind.BASELINE)
+        payloadpark = runner.run_deployment(scenario, DeploymentKind.PAYLOADPARK)
+        wall_s = time.perf_counter() - started
+    packets = baseline.packets_sent + payloadpark.packets_sent
+    return {
+        "wall_s": round(wall_s, 4),
+        "packets": packets,
+        "packets_per_sec": round(packets / wall_s, 1) if wall_s > 0 else 0.0,
+    }
+
+
+def run_bench(
+    scenario: str = DEFAULT_SCENARIO,
+    rate_gbps: float = DEFAULT_RATE_GBPS,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    repeat: int = 1,
+) -> Dict[str, object]:
+    """Benchmark *scenario* on both simulation paths.
+
+    ``repeat`` keeps the best (highest packets/sec) of N measurements
+    per mode, which damps scheduler noise on loaded machines.
+    """
+    if scenario not in BENCH_SCENARIOS:
+        raise ValueError(
+            f"unknown bench scenario {scenario!r}; expected one of {sorted(BENCH_SCENARIOS)}"
+        )
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    build = BENCH_SCENARIOS[scenario]
+
+    def best(fast: bool) -> Dict[str, float]:
+        runs = [
+            _measure_mode(build, rate_gbps, time_scale, fast) for _ in range(repeat)
+        ]
+        return max(runs, key=lambda run: run["packets_per_sec"])
+
+    slow = best(fast=False)
+    fast = best(fast=True)
+    speedup = (
+        fast["packets_per_sec"] / slow["packets_per_sec"]
+        if slow["packets_per_sec"]
+        else 0.0
+    )
+    return {
+        "scenario": scenario,
+        "rate_gbps": rate_gbps,
+        "time_scale": time_scale,
+        "slow": slow,
+        "fast": fast,
+        "speedup": round(speedup, 3),
+    }
+
+
+def default_baseline_path() -> Path:
+    """The committed baseline next to the benchmark scripts."""
+    return Path(__file__).resolve().parents[2] / "benchmarks" / "fastpath_baseline.json"
+
+
+def load_baseline(path: Optional[Path] = None) -> Dict[str, object]:
+    """Load the committed baseline numbers."""
+    baseline_path = path or default_baseline_path()
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_result(
+    result: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple:
+    """Compare a fresh measurement against the committed baseline.
+
+    Returns ``(ok, message)``.  The check is on the fast/slow speedup
+    ratio — the machine-independent part of the measurement — and fails
+    when it regresses more than *tolerance* below the baseline ratio.
+    """
+    baseline_speedup = float(baseline["speedup"])
+    measured = float(result["speedup"])
+    floor = baseline_speedup * (1.0 - tolerance)
+    ok = measured >= floor
+    message = (
+        f"fast-path speedup {measured:.2f}x vs baseline {baseline_speedup:.2f}x "
+        f"(floor {floor:.2f}x at {tolerance:.0%} tolerance): "
+        + ("ok" if ok else "REGRESSION")
+    )
+    return ok, message
+
+
+def format_result(result: Dict[str, object]) -> str:
+    """Human-readable summary table for one benchmark result."""
+    slow = result["slow"]
+    fast = result["fast"]
+    lines = [
+        f"scenario: {result['scenario']} @ {result['rate_gbps']} Gbps "
+        f"(time_scale {result['time_scale']})",
+        f"  slow path: {slow['packets']:>8} packets  {slow['wall_s']:>8.2f}s  "
+        f"{slow['packets_per_sec']:>10.0f} pkts/s",
+        f"  fast path: {fast['packets']:>8} packets  {fast['wall_s']:>8.2f}s  "
+        f"{fast['packets_per_sec']:>10.0f} pkts/s",
+        f"  speedup:   {result['speedup']:.2f}x",
+    ]
+    return "\n".join(lines)

@@ -13,6 +13,8 @@ Usage::
     python -m repro workload list            # named generative/replay workloads
     python -m repro workload describe bursty-mmpp
     python -m repro workload preview incast-sync --packets 5000
+    python -m repro run fig07 --slow-path    # reference simulation path
+    python -m repro bench --quick --check    # fast-vs-slow speedup smoke
 
 The ``run``/``quickstart`` commands are thin wrappers over the modules in
 :mod:`repro.experiments`; ``campaign`` drives the
@@ -26,7 +28,6 @@ import argparse
 import inspect
 import json
 import sys
-from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
@@ -100,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--seed", type=int, default=None,
         help="override the default simulation seed for reproducible runs",
+    )
+    run_parser.add_argument(
+        "--slow-path", action="store_true",
+        help="run on the reference simulation path instead of the fast path "
+             "(results are identical; see the golden-figure suite)",
+    )
+    run_parser.add_argument(
+        "--time-scale", type=float, default=None,
+        help="scale every scenario's simulated duration (e.g. 0.1 for a "
+             "quick reduced-fidelity pass)",
     )
 
     quick_parser = subparsers.add_parser(
@@ -204,26 +215,109 @@ def build_parser() -> argparse.ArgumentParser:
         "--pcap", default=None,
         help="replay this capture instead of the built-in one (pcap-replay only)",
     )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="measure simulated-packets/sec on the fast vs the slow path",
+    )
+    bench_parser.add_argument(
+        "--scenario", default=None,
+        help="bench scenario (default fig07; see repro.bench.BENCH_SCENARIOS)",
+    )
+    bench_parser.add_argument(
+        "--rate", type=float, default=None, help="offered load in Gbps",
+    )
+    bench_parser.add_argument(
+        "--time-scale", type=float, default=None,
+        help="simulated-duration multiplier (longer runs amortize caches)",
+    )
+    bench_parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="measurements per mode; the best is reported (default 1)",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="short smoke measurement (time_scale 0.25) for CI",
+    )
+    bench_parser.add_argument(
+        "--check", action="store_true",
+        help="compare the speedup against benchmarks/fastpath_baseline.json "
+             "and exit non-zero on regression",
+    )
+    bench_parser.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON path (default benchmarks/fastpath_baseline.json)",
+    )
+    bench_parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed fractional regression for --check (default 0.30)",
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true", help="emit the measurement as JSON"
+    )
     return parser
 
 
-def _run_experiment(name: str, as_json: bool, seed: Optional[int]) -> int:
-    """Execute one experiment, optionally as JSON and/or with a seed override."""
-    seed_context = default_seed(seed) if seed is not None else nullcontext()
-    if not as_json:
-        _description, runner = EXPERIMENTS[name]
-        with seed_context:
+def _run_experiment(
+    name: str,
+    as_json: bool,
+    seed: Optional[int],
+    slow_path: bool = False,
+    time_scale: Optional[float] = None,
+) -> int:
+    """Execute one experiment, optionally as JSON and/or with overrides."""
+    from contextlib import ExitStack
+
+    from repro.experiments.runner import default_fast_path, default_time_scale
+
+    with ExitStack() as stack:
+        if seed is not None:
+            stack.enter_context(default_seed(seed))
+        if slow_path:
+            stack.enter_context(default_fast_path(False))
+        if time_scale is not None:
+            stack.enter_context(default_time_scale(time_scale))
+        if not as_json:
+            _description, runner = EXPERIMENTS[name]
             runner()
-        return 0
-    runner = JSON_RUNNERS[name]
-    kwargs = {}
-    if seed is not None and "seed" in inspect.signature(runner).parameters:
-        kwargs["seed"] = seed
-    with seed_context:
+            return 0
+        runner = JSON_RUNNERS[name]
+        kwargs = {}
+        if seed is not None and "seed" in inspect.signature(runner).parameters:
+            kwargs["seed"] = seed
         payload = runner(**kwargs)
     json.dump({"experiment": name, "result": payload}, sys.stdout, indent=2, default=str)
     print()
     return 0
+
+
+def _bench(args) -> int:
+    from pathlib import Path as _Path
+
+    from repro import bench
+
+    time_scale = args.time_scale
+    if time_scale is None:
+        time_scale = bench.QUICK_TIME_SCALE if args.quick else bench.DEFAULT_TIME_SCALE
+    result = bench.run_bench(
+        scenario=args.scenario or bench.DEFAULT_SCENARIO,
+        rate_gbps=args.rate if args.rate is not None else bench.DEFAULT_RATE_GBPS,
+        time_scale=time_scale,
+        repeat=args.repeat,
+    )
+    if args.json:
+        json.dump(result, sys.stdout, indent=2)
+        print()
+    else:
+        print(bench.format_result(result))
+    if not args.check:
+        return 0
+    baseline_path = _Path(args.baseline) if args.baseline else None
+    baseline = bench.load_baseline(baseline_path)
+    tolerance = args.tolerance if args.tolerance is not None else bench.DEFAULT_TOLERANCE
+    ok, message = bench.check_result(result, baseline, tolerance=tolerance)
+    print(message, file=sys.stderr)
+    return 0 if ok else 3
 
 
 # ---------------------------------------------------------------------- #
@@ -388,7 +482,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
-        return _run_experiment(args.experiment, args.json, args.seed)
+        try:
+            return _run_experiment(
+                args.experiment,
+                args.json,
+                args.seed,
+                slow_path=args.slow_path,
+                time_scale=args.time_scale,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "quickstart":
         from repro.experiments.quickstart import run_quickstart
@@ -399,6 +503,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"goodput gain: {report.goodput_gain_percent:+.2f}%  "
               f"PCIe savings: {report.pcie_savings_percent:+.2f}%")
         return 0
+
+    if args.command == "bench":
+        try:
+            return _bench(args)
+        except (ValueError, RuntimeError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "campaign":
         handlers = {

@@ -29,6 +29,12 @@ OP_EXPLICIT_DROP = 1
 
 PP_HEADER_LEN = 7  # 1 byte of flags/align + 6 bytes of tag
 
+#: (tbl_idx << 16 | clk) -> CRC-16, shared across headers; the tag space
+#: is bounded by table entries × clock generations, the limit is a
+#: safety net for pathological configurations.
+_TAG_CRC_MEMO = {}
+_TAG_CRC_MEMO_LIMIT = 1 << 20
+
 
 @dataclass
 class PayloadParkHeader:
@@ -57,8 +63,21 @@ class PayloadParkHeader:
     # ------------------------------------------------------------------ #
 
     def compute_crc(self) -> int:
-        """CRC-16 over the table index and clock."""
-        return crc16(struct.pack("!HH", self.tbl_idx, self.clk))
+        """CRC-16 over the table index and clock (memoized).
+
+        Split seals and Merge validates one tag per packet, but the
+        (tbl_idx, clk) space is tiny — table entries × generation clocks
+        — so the CRC is computed lazily once per distinct tag and then
+        served from the memo.
+        """
+        key = (self.tbl_idx << 16) | self.clk
+        crc = _TAG_CRC_MEMO.get(key)
+        if crc is None:
+            crc = crc16(struct.pack("!HH", self.tbl_idx, self.clk))
+            if len(_TAG_CRC_MEMO) >= _TAG_CRC_MEMO_LIMIT:
+                _TAG_CRC_MEMO.clear()
+            _TAG_CRC_MEMO[key] = crc
+        return crc
 
     def seal(self) -> "PayloadParkHeader":
         """Fill in the CRC field from the current tag values."""

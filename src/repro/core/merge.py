@@ -54,6 +54,7 @@ class MergePath:
         self.counters = counters
         self.enb_zero_stage = enb_zero_stage
         self.validate_stage = validate_stage
+        self._nf_ports = frozenset((binding.nf_port,))
 
     # ------------------------------------------------------------------ #
     # Table installation
@@ -68,6 +69,7 @@ class MergePath:
                 action=self._action_remove_header,
                 match_bits=17,
                 vliw_slots=1,
+                ingress_ports=self._nf_ports,
             )
         )
         self.pipeline.stage(self.validate_stage).add_table(
@@ -77,6 +79,7 @@ class MergePath:
                 action=self._action_validate,
                 match_bits=17,
                 vliw_slots=4,
+                ingress_ports=self._nf_ports,
             )
         )
         for slot, array in self.lookup.blocks_for_pass(0):
@@ -87,6 +90,7 @@ class MergePath:
                     action=self._make_load_action(slot, array),
                     match_bits=17,
                     vliw_slots=1,
+                    ingress_ports=self._nf_ports,
                 )
             )
         if self.lookup.uses_second_pass:
@@ -98,6 +102,7 @@ class MergePath:
                     action=lambda ctx: ctx.request_recirculation(),
                     match_bits=17,
                     vliw_slots=1,
+                    ingress_ports=self._nf_ports,
                 )
             )
             for slot, array in self.lookup.blocks_for_pass(1):
@@ -108,6 +113,7 @@ class MergePath:
                         action=self._make_load_action(slot, array),
                         match_bits=17,
                         vliw_slots=1,
+                        ingress_ports=self._nf_ports,
                     )
                 )
 
@@ -115,30 +121,37 @@ class MergePath:
     # Match predicates
     # ------------------------------------------------------------------ #
 
+    # Flat predicates (no helper-call chains): they run for every packet
+    # on every pass and read the same fields the nested helpers did.
+
     def _is_merge_ingress(self, ctx: PipelinePacket) -> bool:
         return ctx.ingress_port == self.binding.nf_port
 
     def _match_enb_zero(self, ctx: PipelinePacket) -> bool:
+        pp = ctx.packet.pp
         return (
-            self._is_merge_ingress(ctx)
+            ctx.ingress_port == self.binding.nf_port
             and ctx.recirculations == 0
-            and ctx.packet.pp is not None
-            and ctx.packet.pp.enb == 0
+            and pp is not None
+            and pp.enb == 0
         )
 
     def _match_enb_one(self, ctx: PipelinePacket) -> bool:
+        pp = ctx.packet.pp
         return (
-            self._is_merge_ingress(ctx)
+            ctx.ingress_port == self.binding.nf_port
             and ctx.recirculations == 0
-            and ctx.packet.pp is not None
-            and ctx.packet.pp.enb == 1
+            and pp is not None
+            and pp.enb == 1
         )
 
     def _match_load_pass(self, pass_number: int):
+        nf_port = self.binding.nf_port
+
         def match(ctx: PipelinePacket) -> bool:
             return (
-                self._is_merge_ingress(ctx)
-                and ctx.recirculations == pass_number
+                ctx.recirculations == pass_number
+                and ctx.ingress_port == nf_port
                 and ctx.meta.get(META_IS_PP_ENB) == 1
             )
 
@@ -146,8 +159,8 @@ class MergePath:
 
     def _match_recirculation_request(self, ctx: PipelinePacket) -> bool:
         return (
-            self._is_merge_ingress(ctx)
-            and ctx.recirculations == 0
+            ctx.recirculations == 0
+            and ctx.ingress_port == self.binding.nf_port
             and ctx.meta.get(META_IS_PP_ENB) == 1
         )
 

@@ -36,6 +36,13 @@ from repro.switchsim.resources import ResourceReport
 class SwitchProgram:
     """Common behaviour of the PayloadPark and baseline programs."""
 
+    #: True when every table the program installs is stateless, i.e. a
+    #: packet's pipeline outcome depends only on its ingress port and
+    #: destination MAC.  Such programs may memoize whole-pipe outcomes in
+    #: the fast path (see :meth:`process`); stateful programs (PayloadPark)
+    #: always walk their tables.
+    decision_cacheable = False
+
     def __init__(
         self,
         bindings: List[NfServerBinding],
@@ -47,7 +54,55 @@ class SwitchProgram:
         self.asic = asic or TofinoAsic(asic_config)
         self.bindings = list(bindings)
         self.l2 = L2ForwardingTable()
+        self.fast_path = False
+        #: (ingress_port, dst MAC) -> cached pipe outcome; only populated
+        #: for decision-cacheable programs with the fast path enabled.
+        self._decision_cache: Dict[tuple, "_CachedDecision"] = {}
         self._validate_bindings()
+
+    # ------------------------------------------------------------------ #
+    # Fast path control
+    # ------------------------------------------------------------------ #
+
+    def enable_fast_path(self, enabled: bool = True) -> None:
+        """Switch the program (and its pipes) to the optimized walk.
+
+        The fast path is behaviour-preserving: compiled table walks,
+        port-gated match skips and (for stateless programs) whole-pipe
+        decision caching all reproduce the reference path's packet
+        outcomes and counters exactly — the golden-figure suite runs
+        every experiment in both modes and diffs the tables.
+        """
+        if enabled and self.decision_cacheable:
+            stateful = [
+                table.name
+                for pipe in self.asic.pipes
+                for stage in pipe.pipeline.stages
+                for table in stage.tables
+                if table.stateful
+            ]
+            if stateful:
+                raise ValueError(
+                    f"{type(self).__name__} declares decision_cacheable but installs "
+                    f"stateful tables: {stateful}"
+                )
+        self.fast_path = enabled
+        for pipe in self.asic.pipes:
+            pipe.fast_path = enabled
+            for stage in pipe.pipeline.stages:
+                for array in stage.register_arrays:
+                    array.guard_enabled = not enabled
+        self.invalidate_fast_path()
+
+    def invalidate_fast_path(self) -> None:
+        """Drop memoized pipeline outcomes.
+
+        Control-plane mutations that change forwarding behaviour (L2
+        entries, table installs, state resets) call this so the next
+        packet re-walks the pipeline; it is also the explicit hook for
+        external controllers that mutate program state directly.
+        """
+        self._decision_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Binding / port helpers
@@ -92,6 +147,7 @@ class SwitchProgram:
     def add_l2_entry(self, mac: str, port: int) -> None:
         """Install a destination-MAC forwarding entry (control plane)."""
         self.l2.add_entry(MacAddress.from_string(mac), port)
+        self.invalidate_fast_path()
 
     def _egress_for(self, ctx: PipelinePacket, binding: NfServerBinding) -> int:
         """Egress decision for a packet heading away from the NF server."""
@@ -127,6 +183,9 @@ class SwitchProgram:
                 action=forward_to_nf,
                 match_bits=16,
                 vliw_slots=1,
+                ingress_ports=ingress_ports,
+                stateful=False,
+                port_implies_match=True,
             )
         )
         pipe.pipeline.stage(last_stage).add_table(
@@ -137,6 +196,9 @@ class SwitchProgram:
                 match_bits=64,
                 entries=64,
                 vliw_slots=1,
+                ingress_ports=frozenset((binding.nf_port,)),
+                stateful=False,
+                port_implies_match=True,
             )
         )
 
@@ -145,7 +207,27 @@ class SwitchProgram:
     # ------------------------------------------------------------------ #
 
     def process(self, packet: Packet, ingress_port: int) -> PipelinePacket:
-        """Run *packet* through the pipe owning *ingress_port*."""
+        """Run *packet* through the pipe owning *ingress_port*.
+
+        Decision-cacheable programs on the fast path memoize the pipe
+        outcome per ``(ingress_port, dst MAC)`` header-shape signature:
+        repeated identical shapes skip the per-stage walk entirely while
+        replaying the same per-table hit/miss accounting the walk would
+        have produced.  The cache is invalidated by pipeline version
+        bumps (table installs) and :meth:`invalidate_fast_path`.
+        """
+        if self.fast_path and self.decision_cacheable:
+            signature = (ingress_port, packet.eth.dst.value)
+            cached = self._decision_cache.get(signature)
+            if cached is not None:
+                ctx = cached.replay(self.asic, packet, ingress_port)
+                if ctx is not None:
+                    return ctx
+                del self._decision_cache[signature]  # stale pipeline version
+            ctx, entry = _CachedDecision.record(self.asic, packet, ingress_port)
+            if entry is not None:
+                self._decision_cache[signature] = entry
+            return ctx
         return self.asic.process(packet, ingress_port)
 
     def extra_latency_ns(self, ctx: PipelinePacket) -> int:
@@ -168,7 +250,12 @@ class BaselineProgram(SwitchProgram):
     Traffic-generator ports forward to the NF server; packets coming back
     from the NF server are forwarded by destination MAC (falling back to
     the binding's default egress port).
+
+    Every table is stateless, so the fast path may memoize whole-pipe
+    outcomes per (ingress port, dst MAC) header shape.
     """
+
+    decision_cacheable = True
 
     def __init__(
         self,
@@ -337,3 +424,96 @@ class PayloadParkProgram(SwitchProgram):
         for counters in self.counters.counters.values():
             counters.reset()
         self.asic.reset_counters()
+        self.invalidate_fast_path()
+
+
+class _CachedDecision:
+    """Memoized outcome of one pipe pass for a stateless program.
+
+    Records the egress decision plus the per-table hit/miss deltas the
+    walk produced, so replays leave every observable counter (table
+    hits, parser/deparser counts, ASIC totals) exactly as a live walk
+    would have.  Entries carry the pipeline version they were recorded
+    against; a version bump (control-plane table install) makes them
+    report stale and the caller re-records.
+    """
+
+    __slots__ = (
+        "pipe",
+        "version",
+        "egress_port",
+        "dropped",
+        "drop_reason",
+        "recirculations",
+        "counter_deltas",
+    )
+
+    def __init__(self, pipe, version, egress_port, dropped, drop_reason,
+                 recirculations, counter_deltas):
+        self.pipe = pipe
+        self.version = version
+        self.egress_port = egress_port
+        self.dropped = dropped
+        self.drop_reason = drop_reason
+        self.recirculations = recirculations
+        self.counter_deltas = counter_deltas
+
+    @classmethod
+    def record(cls, asic: TofinoAsic, packet: Packet, ingress_port: int):
+        """Run one live walk and capture its outcome + counter effects."""
+        pipe = asic.pipe_for_port(ingress_port)
+        if pipe.parser.hook is not None or pipe.deparser.hook is not None:
+            # Hooks may have effects the replay cannot reproduce; process
+            # live and skip caching for this pipe.
+            return asic.process(packet, ingress_port), None
+        version = pipe.pipeline.version
+        tables = [entry[0] for entry in pipe.pipeline.compiled_tables()]
+        if any(table.stateful for table in tables):
+            # A stateful table installed after enable_fast_path()'s scan
+            # (the control plane may add tables at any time): replays
+            # cannot reproduce stateful actions, so stop caching for
+            # this pipe rather than silently freeze its state.
+            return asic.process(packet, ingress_port), None
+        before = [(table.hit_count, table.miss_count) for table in tables]
+        ctx = asic.process(packet, ingress_port)
+        deltas = []
+        for table, (hits, misses) in zip(tables, before):
+            hit_delta = table.hit_count - hits
+            miss_delta = table.miss_count - misses
+            if hit_delta or miss_delta:
+                deltas.append((table, hit_delta, miss_delta))
+        entry = cls(
+            pipe=pipe,
+            version=version,
+            egress_port=ctx.egress_port,
+            dropped=ctx.dropped,
+            drop_reason=ctx.drop_reason,
+            recirculations=ctx.recirculations,
+            counter_deltas=tuple(deltas),
+        )
+        return ctx, entry
+
+    def replay(self, asic: TofinoAsic, packet: Packet, ingress_port: int):
+        """Reproduce the recorded outcome, or None if the entry is stale."""
+        pipe = self.pipe
+        if pipe.pipeline.version != self.version:
+            return None
+        ctx = PipelinePacket(packet=packet, ingress_port=ingress_port)
+        ctx.egress_port = self.egress_port
+        ctx.recirculations = self.recirculations
+        for table, hit_delta, miss_delta in self.counter_deltas:
+            table.hit_count += hit_delta
+            table.miss_count += miss_delta
+        passes = self.recirculations + 1
+        pipe.parser.parsed_packets += passes
+        pipe.deparser.deparsed_packets += passes
+        pipe.recirculated_packets += self.recirculations
+        asic.processed_packets += 1
+        if self.dropped:
+            ctx.dropped = True
+            ctx.drop_reason = self.drop_reason
+            asic.dropped_packets += 1
+            asic.drop_reasons[self.drop_reason] = (
+                asic.drop_reasons.get(self.drop_reason, 0) + 1
+            )
+        return ctx

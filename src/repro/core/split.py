@@ -76,6 +76,7 @@ class SplitPath:
                 action=self._action_tag,
                 match_bits=16,
                 vliw_slots=2,
+                ingress_ports=self._ingress_ports,
             )
         )
         self.pipeline.stage(self.probe_stage).add_table(
@@ -85,6 +86,7 @@ class SplitPath:
                 action=self._action_probe,
                 match_bits=16,
                 vliw_slots=4,
+                ingress_ports=self._ingress_ports,
             )
         )
         for slot, array in self.lookup.blocks_for_pass(0):
@@ -95,6 +97,7 @@ class SplitPath:
                     action=self._make_store_action(slot, array),
                     match_bits=17,
                     vliw_slots=1,
+                    ingress_ports=self._ingress_ports,
                 )
             )
         if self.lookup.uses_second_pass:
@@ -106,6 +109,7 @@ class SplitPath:
                     action=lambda ctx: ctx.request_recirculation(),
                     match_bits=17,
                     vliw_slots=1,
+                    ingress_ports=self._ingress_ports,
                 )
             )
             for slot, array in self.lookup.blocks_for_pass(1):
@@ -116,6 +120,7 @@ class SplitPath:
                         action=self._make_store_action(slot, array),
                         match_bits=17,
                         vliw_slots=1,
+                        ingress_ports=self._ingress_ports,
                     )
                 )
 
@@ -123,37 +128,46 @@ class SplitPath:
     # Match predicates
     # ------------------------------------------------------------------ #
 
+    # The predicates below are flat (no helper-call chains) because they
+    # run for every packet on every pass; they read exactly the same
+    # fields the original nested helpers did.
+
     def _is_split_ingress(self, ctx: PipelinePacket) -> bool:
         return ctx.ingress_port in self._ingress_ports
 
     def _match_split_ingress(self, ctx: PipelinePacket) -> bool:
-        return self._is_split_ingress(ctx) and ctx.recirculations == 0
+        return ctx.ingress_port in self._ingress_ports and ctx.recirculations == 0
 
     def _match_split_candidate(self, ctx: PipelinePacket) -> bool:
         """Packets worth splitting: enabled port, big enough payload."""
         return (
-            self._match_split_ingress(ctx)
+            ctx.ingress_port in self._ingress_ports
+            and ctx.recirculations == 0
             and self.config.split_enabled
-            and ctx.packet.payload_length >= self.config.min_split_payload
+            and len(ctx.packet.payload) >= self.config.min_split_payload
         )
 
     def _match_store_pass(self, pass_number: int):
+        ingress_ports = self._ingress_ports
+
         def match(ctx: PipelinePacket) -> bool:
+            pp = ctx.packet.pp
             return (
-                self._is_split_ingress(ctx)
-                and ctx.recirculations == pass_number
-                and ctx.packet.pp is not None
-                and ctx.packet.pp.enb == 1
+                ctx.recirculations == pass_number
+                and ctx.ingress_port in ingress_ports
+                and pp is not None
+                and pp.enb == 1
             )
 
         return match
 
     def _match_recirculation_request(self, ctx: PipelinePacket) -> bool:
+        pp = ctx.packet.pp
         return (
-            self._is_split_ingress(ctx)
-            and ctx.recirculations == 0
-            and ctx.packet.pp is not None
-            and ctx.packet.pp.enb == 1
+            ctx.recirculations == 0
+            and ctx.ingress_port in self._ingress_ports
+            and pp is not None
+            and pp.enb == 1
         )
 
     # ------------------------------------------------------------------ #

@@ -19,7 +19,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.core.config import NfServerBinding, PayloadParkConfig
 from repro.core.program import BaselineProgram, PayloadParkProgram, SwitchProgram
 from repro.experiments.chains import ChainFactory, fw_nat
-from repro.netsim.eventloop import EventLoop
+from repro.netsim.eventloop import EventLoop, FastEventLoop
 from repro.netsim.nic import NicSpec, NIC_10GE
 from repro.netsim.topology import MultiServerTopology, SingleServerTopology
 from repro.nf.framework import OPENNETVM, NfFramework
@@ -75,6 +75,65 @@ def default_seed(seed: int):
         yield
     finally:
         _SEED_OVERRIDE = previous
+
+
+#: Scenarios take the simulation fast path unless overridden.
+_FAST_PATH_DEFAULT = True
+
+#: Active override installed by :func:`default_fast_path`.
+_FAST_PATH_OVERRIDE: Optional[bool] = None
+
+
+def current_default_fast_path() -> bool:
+    """Whether newly-built scenarios use the fast path by default."""
+    return _FAST_PATH_OVERRIDE if _FAST_PATH_OVERRIDE is not None else _FAST_PATH_DEFAULT
+
+
+@contextmanager
+def default_fast_path(enabled: bool):
+    """Temporarily override the fast-path default for built scenarios.
+
+    The CLI's ``--slow-path`` flag and the golden-figure regression
+    suite wrap experiment execution in this context to force the
+    reference simulation path without threading a parameter through
+    every experiment module.
+    """
+    global _FAST_PATH_OVERRIDE
+    previous = _FAST_PATH_OVERRIDE
+    _FAST_PATH_OVERRIDE = bool(enabled)
+    try:
+        yield
+    finally:
+        _FAST_PATH_OVERRIDE = previous
+
+
+#: Active time-scale override installed by :func:`default_time_scale`.
+_TIME_SCALE_OVERRIDE: Optional[float] = None
+
+
+def current_default_time_scale() -> float:
+    """The simulated-time multiplier runners pick up by default."""
+    return _TIME_SCALE_OVERRIDE if _TIME_SCALE_OVERRIDE is not None else 1.0
+
+
+@contextmanager
+def default_time_scale(time_scale: float):
+    """Temporarily override the default runner time scale.
+
+    Lets ``repro run --time-scale`` (and the regression suite) shrink
+    every experiment's simulated duration without changing experiment
+    signatures; an explicit ``ExperimentRunner(time_scale=...)`` still
+    wins.
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    global _TIME_SCALE_OVERRIDE
+    previous = _TIME_SCALE_OVERRIDE
+    _TIME_SCALE_OVERRIDE = float(time_scale)
+    try:
+        yield
+    finally:
+        _TIME_SCALE_OVERRIDE = previous
 
 
 def default_binding(name: str = "srv0", pipe: int = 0) -> NfServerBinding:
@@ -133,6 +192,12 @@ class ScenarioConfig:
     #: source, replay stream) built by the workload subsystem; None keeps
     #: the legacy constant-rate PacketFactory path.
     traffic_model: Optional[TrafficModel] = None
+    #: Use the optimized simulation path: calendar event loop, pooled
+    #: packet templates, compiled/cached pipeline walks and cost-model
+    #: precomputation.  Behaviour-preserving — the golden-figure suite
+    #: asserts byte-identical results against ``fast_path=False``, which
+    #: keeps the original reference implementations.
+    fast_path: bool = field(default_factory=current_default_fast_path)
 
     def with_rate(self, rate_gbps: float) -> "ScenarioConfig":
         """A copy of this scenario at a different offered rate.
@@ -177,10 +242,15 @@ class ExperimentRunner:
         Multiplier applied to every scenario's simulated duration and
         warm-up.  The benchmark harness uses values below 1.0 to keep the
         full figure sweeps fast; results converge for scales ≥ 0.5 at the
-        packet rates used in the paper.
+        packet rates used in the paper.  ``None`` (the default) resolves
+        through :func:`current_default_time_scale`, so the CLI's
+        ``--time-scale`` flag reaches experiments that build their own
+        runner.
     """
 
-    def __init__(self, verbose: bool = False, time_scale: float = 1.0) -> None:
+    def __init__(self, verbose: bool = False, time_scale: Optional[float] = None) -> None:
+        if time_scale is None:
+            time_scale = current_default_time_scale()
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
         self.verbose = verbose
@@ -198,7 +268,7 @@ class ExperimentRunner:
             reports = self.run_multi_server(scenario, deployment)
             return _aggregate_reports(reports, scenario, deployment)
 
-        env = EventLoop()
+        env = FastEventLoop() if scenario.fast_path else EventLoop()
         binding = default_binding()
         program = self._build_program(scenario, deployment, [binding])
         model = self._build_server_model(scenario)
@@ -207,6 +277,7 @@ class ExperimentRunner:
             workload=scenario.workload,
             burst_size=scenario.burst_size,
             seed=scenario.seed,
+            pooled=scenario.fast_path,
         )
         topology = SingleServerTopology(
             env,
@@ -216,6 +287,7 @@ class ExperimentRunner:
             nic_spec=scenario.nic,
             gen_link_gbps=scenario.gen_link_gbps,
             traffic_model=scenario.traffic_model,
+            fast_path=scenario.fast_path,
         )
         return self._execute(scenario, deployment, topology, program)[0]
 
@@ -236,7 +308,7 @@ class ExperimentRunner:
         self, scenario: ScenarioConfig, deployment: DeploymentKind
     ) -> List[DeploymentReport]:
         """Run a multi-server scenario; return one report per NF server."""
-        env = EventLoop()
+        env = FastEventLoop() if scenario.fast_path else EventLoop()
         bindings = multi_server_bindings(scenario.server_count)
         program = self._build_program(scenario, deployment, bindings)
         models = [self._build_server_model(scenario) for _ in bindings]
@@ -246,6 +318,7 @@ class ExperimentRunner:
                 workload=scenario.workload,
                 burst_size=scenario.burst_size,
                 seed=scenario.seed + index,
+                pooled=scenario.fast_path,
             )
             for index in range(len(bindings))
         ]
@@ -257,6 +330,7 @@ class ExperimentRunner:
             nic_spec=scenario.nic,
             gen_link_gbps=scenario.gen_link_gbps,
             traffic_model=scenario.traffic_model,
+            fast_path=scenario.fast_path,
         )
         return self._execute(scenario, deployment, topology, program)
 
@@ -335,9 +409,13 @@ class ExperimentRunner:
         bindings: List[NfServerBinding],
     ) -> SwitchProgram:
         if deployment is DeploymentKind.BASELINE:
-            return BaselineProgram(bindings)
-        pp_config = replace(scenario.payloadpark, bindings=[])
-        return PayloadParkProgram(pp_config, bindings=bindings)
+            program: SwitchProgram = BaselineProgram(bindings)
+        else:
+            pp_config = replace(scenario.payloadpark, bindings=[])
+            program = PayloadParkProgram(pp_config, bindings=bindings)
+        if scenario.fast_path:
+            program.enable_fast_path()
+        return program
 
     def _build_server_model(self, scenario: ScenarioConfig) -> NfServerModel:
         framework = scenario.framework
@@ -350,7 +428,11 @@ class ExperimentRunner:
             explicit_drop=scenario.explicit_drop,
             service_jitter=scenario.service_jitter,
         )
-        return NfServerModel(chain=scenario.chain_factory(), config=config)
+        chain = scenario.chain_factory()
+        if scenario.fast_path:
+            for nf in chain:
+                nf.enable_fast_path()
+        return NfServerModel(chain=chain, config=config)
 
     def _execute(
         self,

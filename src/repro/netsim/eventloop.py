@@ -1,21 +1,40 @@
-"""A minimal discrete-event simulation loop.
+"""Discrete-event simulation loops: the reference heap and the fast calendar.
 
 Time is an integer number of nanoseconds.  Events are callbacks ordered
-by (time, sequence number); ties preserve scheduling order so the
+by (time, scheduling order); ties preserve scheduling order so the
 simulation is fully deterministic for a given seed.
+
+Two interchangeable implementations are provided:
+
+* :class:`EventLoop` — the reference implementation: one ``heapq``
+  push/pop per event, exactly as the seed simulator behaved.  This is
+  the loop the golden-figure regression suite treats as ground truth.
+* :class:`FastEventLoop` — the fast path: a timer-wheel-style calendar
+  that buckets every event scheduled for the same nanosecond into one
+  FIFO list, so the heap only orders *distinct timestamps*.  Paced
+  traffic generators and burst transmissions produce long runs of
+  same-time events, which the calendar executes with one list append
+  and one cursor advance instead of a heap push and pop each.
+
+Both loops execute identical event sequences for identical scheduling
+calls (the property suite in ``tests/property`` asserts this), so the
+experiment runner can switch between them via
+``ScenarioConfig.fast_path`` without changing results.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 Callback = Callable[[], None]
 
 
 class EventLoop:
-    """Priority-queue based discrete-event scheduler."""
+    """Priority-queue based discrete-event scheduler (reference path)."""
+
+    __slots__ = ("_queue", "_sequence", "now", "events_executed")
 
     def __init__(self) -> None:
         self._queue: List[Tuple[int, int, Callback]] = []
@@ -41,12 +60,34 @@ class EventLoop:
             raise ValueError(f"delay must be non-negative, got {delay_ns}")
         self.schedule_at(self.now + delay_ns, callback)
 
+    def schedule_many(self, events: Iterable[Tuple[int, Callback]]) -> None:
+        """Schedule a batch of ``(when_ns, callback)`` pairs.
+
+        Equivalent to calling :meth:`schedule_at` for each pair in order
+        (same tie-breaking), but lets implementations amortize per-event
+        overhead.  Validation matches ``schedule_at``: any pair in the
+        past raises, and pairs before it are already scheduled.
+        """
+        queue = self._queue
+        sequence = self._sequence
+        now = self.now
+        for when_ns, callback in events:
+            if when_ns < now:
+                raise ValueError(
+                    f"cannot schedule an event in the past ({when_ns} < now={now})"
+                )
+            heapq.heappush(queue, (when_ns, next(sequence), callback))
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
 
     def run_until(self, horizon_ns: int) -> None:
-        """Execute events in order until the queue is empty or time exceeds *horizon_ns*."""
+        """Execute events in order until the queue is empty or time exceeds *horizon_ns*.
+
+        ``now`` never moves backwards: a horizon earlier than the current
+        time executes nothing and leaves ``now`` unchanged.
+        """
         while self._queue:
             when_ns, _seq, callback = self._queue[0]
             if when_ns > horizon_ns:
@@ -55,7 +96,8 @@ class EventLoop:
             self.now = when_ns
             callback()
             self.events_executed += 1
-        # Leave ``now`` at the horizon so rate calculations use the full window.
+        # Leave ``now`` at the horizon so rate calculations use the full
+        # window; clamp so an earlier horizon cannot rewind time.
         if self.now < horizon_ns:
             self.now = horizon_ns
 
@@ -80,3 +122,186 @@ class EventLoop:
     def now_seconds(self) -> float:
         """Current simulation time in seconds."""
         return self.now / 1e9
+
+
+class FastEventLoop(EventLoop):
+    """Calendar-bucket scheduler: heap of distinct times, FIFO buckets.
+
+    Events scheduled for the same nanosecond share one list; the heap
+    orders only the distinct timestamps.  Appending to a bucket is O(1)
+    and preserves scheduling order, which reproduces the reference
+    loop's ``(time, sequence)`` tie-breaking exactly — including events
+    scheduled *for the current timestamp while it is being drained*,
+    which land at the tail of the active bucket and run after every
+    already-queued tie.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_times",
+        "_pending",
+        "_active_time",
+        "_active_bucket",
+        "_active_index",
+    )
+
+    def __init__(self) -> None:
+        self.now = 0
+        self.events_executed = 0
+        #: timestamp -> FIFO list of callbacks at that timestamp.
+        self._buckets: Dict[int, List[Callback]] = {}
+        #: heap of distinct timestamps present in ``_buckets``.
+        self._times: List[int] = []
+        self._pending = 0
+        # Drain cursor, kept as instance state so ``run_all(max_events)``
+        # can stop mid-bucket and a later run resumes exactly where it
+        # left off.
+        self._active_time = -1
+        self._active_bucket: Optional[List[Callback]] = None
+        self._active_index = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def schedule_at(self, when_ns: int, callback: Callback) -> None:
+        """Schedule *callback* at *when_ns* (same semantics as the reference)."""
+        if when_ns < self.now:
+            raise ValueError(
+                f"cannot schedule an event in the past ({when_ns} < now={self.now})"
+            )
+        bucket = self._buckets.get(when_ns)
+        if bucket is None:
+            self._buckets[when_ns] = [callback]
+            heapq.heappush(self._times, when_ns)
+        else:
+            bucket.append(callback)
+        self._pending += 1
+
+    def schedule_in(self, delay_ns: int, callback: Callback) -> None:
+        """Schedule *callback* to run *delay_ns* nanoseconds from now."""
+        if delay_ns < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_ns}")
+        self.schedule_at(self.now + delay_ns, callback)
+
+    def schedule_many(self, events: Iterable[Tuple[int, Callback]]) -> None:
+        """Batch-schedule ``(when_ns, callback)`` pairs into their buckets."""
+        buckets = self._buckets
+        now = self.now
+        count = 0
+        for when_ns, callback in events:
+            if when_ns < now:
+                self._pending += count
+                raise ValueError(
+                    f"cannot schedule an event in the past ({when_ns} < now={now})"
+                )
+            bucket = buckets.get(when_ns)
+            if bucket is None:
+                buckets[when_ns] = [callback]
+                heapq.heappush(self._times, when_ns)
+            else:
+                bucket.append(callback)
+            count += 1
+        self._pending += count
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run_until(self, horizon_ns: int) -> None:
+        """Execute events in order until time would exceed *horizon_ns*."""
+        times = self._times
+        buckets = self._buckets
+        pop = heapq.heappop
+        # ``consumed`` counts events taken off the calendar, ``executed``
+        # events whose callback completed; they differ only when a
+        # callback raises, and keeping both mirrors the reference loop
+        # (the heap entry is popped even if the callback then raises).
+        consumed = 0
+        executed = 0
+        try:
+            while True:
+                if self._active_bucket is None:
+                    if not times or times[0] > horizon_ns:
+                        break
+                    when_ns = pop(times)
+                    bucket = buckets[when_ns]
+                    if len(bucket) == 1:
+                        # Singleton bucket: skip the drain-cursor
+                        # bookkeeping.  The bucket is removed first, so a
+                        # callback scheduling at ``now`` creates a fresh
+                        # bucket that the heap serves next — the same
+                        # order the reference loop produces.
+                        del buckets[when_ns]
+                        self.now = when_ns
+                        consumed += 1
+                        bucket[0]()
+                        executed += 1
+                        continue
+                    self._active_time = when_ns
+                    self._active_bucket = bucket
+                    self._active_index = 0
+                elif self._active_time > horizon_ns:
+                    break
+                self.now = self._active_time
+                bucket = self._active_bucket
+                index = self._active_index
+                # Callbacks may append same-time events to this bucket;
+                # re-reading the length each iteration runs them in FIFO
+                # order, matching the reference loop's sequence numbers.
+                while index < len(bucket):
+                    callback = bucket[index]
+                    index += 1
+                    self._active_index = index
+                    consumed += 1
+                    callback()
+                    executed += 1
+                del buckets[self._active_time]
+                self._active_bucket = None
+                self._active_time = -1
+        finally:
+            self.events_executed += executed
+            self._pending -= consumed
+        if self.now < horizon_ns:
+            self.now = horizon_ns
+
+    def run_all(self, max_events: Optional[int] = None) -> None:
+        """Drain the calendar completely (or up to *max_events* events)."""
+        times = self._times
+        buckets = self._buckets
+        pop = heapq.heappop
+        remaining = float("inf") if max_events is None else max_events
+        consumed = 0
+        executed = 0
+        try:
+            while remaining > 0:
+                if self._active_bucket is None:
+                    if not times:
+                        break
+                    when_ns = pop(times)
+                    self._active_time = when_ns
+                    self._active_bucket = buckets[when_ns]
+                    self._active_index = 0
+                self.now = self._active_time
+                bucket = self._active_bucket
+                index = self._active_index
+                while index < len(bucket) and remaining > 0:
+                    callback = bucket[index]
+                    index += 1
+                    self._active_index = index
+                    consumed += 1
+                    callback()
+                    executed += 1
+                    remaining -= 1
+                if self._active_index >= len(bucket):
+                    del buckets[self._active_time]
+                    self._active_bucket = None
+                    self._active_time = -1
+        finally:
+            self.events_executed += executed
+            self._pending -= consumed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return self._pending

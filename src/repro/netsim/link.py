@@ -6,11 +6,16 @@ byte capacity.  When the buffer is full the frame is dropped — this is
 where the baseline deployment loses packets once the switch → NF-server
 link saturates (§6.2.1), and it is the buffer whose occupancy produces
 the latency cliff visible in Fig. 7 and Fig. 16.
+
+The transmit path is deliberately lean: links move every frame of every
+simulated hop, so the delivery callback is pre-bound per direction at
+wiring time, and the two per-frame events (serialization end,
+arrival) are scheduled with one batched call.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.netsim.eventloop import EventLoop
@@ -34,6 +39,18 @@ class LinkDirectionStats:
 class _LinkDirection:
     """One direction of a full-duplex link."""
 
+    __slots__ = (
+        "env",
+        "name",
+        "bandwidth_gbps",
+        "propagation_delay_ns",
+        "buffer_bytes",
+        "next_free_ns",
+        "queued_bytes",
+        "stats",
+        "_deliver",
+    )
+
     def __init__(
         self,
         env: EventLoop,
@@ -50,37 +67,56 @@ class _LinkDirection:
         self.next_free_ns = 0
         self.queued_bytes = 0
         self.stats = LinkDirectionStats()
+        #: Bound by the owning Link once the receiving endpoint is known.
+        self._deliver = None
 
     def serialization_ns(self, nbytes: int) -> int:
         """Time to clock *nbytes* onto the wire at the link rate."""
         return int(round(nbytes * 8 / self.bandwidth_gbps))
 
-    def transmit(self, packet: Packet, deliver) -> None:
-        """Queue *packet* for transmission; call ``deliver(packet)`` on arrival."""
-        now = self.env.now
+    def transmit(self, packet: Packet, deliver=None) -> None:
+        """Queue *packet* for transmission; deliver it on arrival.
+
+        *deliver* overrides the direction's pre-bound delivery callback
+        (kept for tests that drive a direction standalone).
+        """
+        stats = self.stats
         wire_bytes = packet.wire_length
-        if self.queued_bytes + wire_bytes > self.buffer_bytes:
-            self.stats.frames_dropped += 1
-            self.stats.bytes_dropped += wire_bytes
+        queued = self.queued_bytes + wire_bytes
+        if queued > self.buffer_bytes:
+            stats.frames_dropped += 1
+            stats.bytes_dropped += wire_bytes
             return
-        start = max(now, self.next_free_ns)
+        now = self.env.now
+        next_free = self.next_free_ns
+        start = now if now > next_free else next_free
         tx_done = start + self.serialization_ns(wire_bytes)
         self.next_free_ns = tx_done
-        self.queued_bytes += wire_bytes
-        self.stats.frames_sent += 1
-        self.stats.bytes_sent += wire_bytes
-        self.stats.busy_ns += tx_done - start
-        self.stats.peak_queue_bytes = max(self.stats.peak_queue_bytes, self.queued_bytes)
+        self.queued_bytes = queued
+        stats.frames_sent += 1
+        stats.bytes_sent += wire_bytes
+        stats.busy_ns += tx_done - start
+        if queued > stats.peak_queue_bytes:
+            stats.peak_queue_bytes = queued
+
+        if deliver is None:
+            deliver = self._deliver
 
         def finish_serialization() -> None:
             self.queued_bytes -= wire_bytes
 
         def arrive() -> None:
-            self.stats.frames_delivered += 1
+            stats.frames_delivered += 1
             deliver(packet)
 
-        self.env.schedule_at(tx_done, finish_serialization)
-        self.env.schedule_at(tx_done + self.propagation_delay_ns, arrive)
+        # One batched call; identical ordering to two schedule_at calls
+        # (schedule_many preserves pair order for tie-breaking).
+        self.env.schedule_many(
+            (
+                (tx_done, finish_serialization),
+                (tx_done + self.propagation_delay_ns, arrive),
+            )
+        )
 
     def utilization(self, window_ns: int) -> float:
         """Fraction of *window_ns* the link spent transmitting."""
@@ -117,20 +153,21 @@ class Link:
         self._b_to_a = _LinkDirection(
             env, f"{self.name}[b->a]", bandwidth_gbps, propagation_delay_ns, buffer_bytes
         )
+        # Pre-bind delivery: the endpoints never change after wiring, so
+        # the per-frame transmit path does not rebuild these closures.
+        self._a_to_b._deliver = lambda pkt: node_b.handle_packet(pkt, port_b)
+        self._b_to_a._deliver = lambda pkt: node_a.handle_packet(pkt, port_a)
         node_a.attach_link(port_a, self)
         node_b.attach_link(port_b, self)
 
     def transmit(self, packet: Packet, sender: Node) -> None:
         """Send *packet* from *sender* toward the other end of the link."""
         if sender is self.node_a:
-            direction = self._a_to_b
-            receiver, port = self.node_b, self.port_b
+            self._a_to_b.transmit(packet)
         elif sender is self.node_b:
-            direction = self._b_to_a
-            receiver, port = self.node_a, self.port_a
+            self._b_to_a.transmit(packet)
         else:
             raise ValueError(f"{sender.name} is not attached to link {self.name}")
-        direction.transmit(packet, lambda pkt: receiver.handle_packet(pkt, port))
 
     # ------------------------------------------------------------------ #
     # Reporting

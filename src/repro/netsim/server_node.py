@@ -38,6 +38,7 @@ class NfServerNode(Node):
         name: str = "nf-server",
         switch_port: int = 0,
         seed: int = 1,
+        cache_cost_model: bool = False,
     ) -> None:
         super().__init__(env, name)
         self.model = model
@@ -47,6 +48,16 @@ class NfServerNode(Node):
         self._rng = random.Random(seed)
         self._worker_free_at_ns = 0
         self._in_server = 0
+        # Fast path: the cost model is a pure function of the chain and
+        # framework config, so precompute it once instead of re-walking
+        # the chain's cycle estimates for every packet.  The reference
+        # path keeps querying the model live (None disables the cache).
+        if cache_cost_model:
+            self._bottleneck_ns: Optional[float] = model.bottleneck_service_ns()
+            self._pipeline_latency_ns: Optional[float] = model.pipeline_latency_ns()
+        else:
+            self._bottleneck_ns = None
+            self._pipeline_latency_ns = None
         self._buffer_capacity = min(
             model.buffer_capacity_packets(),
             nic_spec.rx_ring_entries + model.config.framework.ring_entries * len(model.chain),
@@ -76,14 +87,24 @@ class NfServerNode(Node):
         nic_done = self.nic.rx_ready_at(self.env.now, wire_bytes)
         pcie_delay = self.pcie.rx_transfer(wire_bytes)
         ready = nic_done + pcie_delay
-        service = self._jittered(self.model.bottleneck_service_ns())
+        bottleneck_ns = (
+            self._bottleneck_ns
+            if self._bottleneck_ns is not None
+            else self.model.bottleneck_service_ns()
+        )
+        service = self._jittered(bottleneck_ns)
         start = max(ready, self._worker_free_at_ns)
         finish = start + service
         self._worker_free_at_ns = finish
         self.busy_ns += service
         # The remaining (non-bottleneck) pipeline stages add latency but do
         # not constrain throughput.
-        completion = finish + int(self.model.pipeline_latency_ns() - service)
+        pipeline_latency_ns = (
+            self._pipeline_latency_ns
+            if self._pipeline_latency_ns is not None
+            else self.model.pipeline_latency_ns()
+        )
+        completion = finish + int(pipeline_latency_ns - service)
         completion = max(completion, finish)
         self.env.schedule_at(completion, lambda: self._complete(packet))
 

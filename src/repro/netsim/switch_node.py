@@ -61,7 +61,12 @@ class SwitchNode(Node):
             # bytes handed to the NF server (§6.1).
             self.useful_bytes_to_nf += packet.useful_bytes
             self.packets_to_nf += 1
-        latency = self.base_latency_ns + self.program.extra_latency_ns(ctx)
+        latency = self.base_latency_ns
+        if ctx.recirculations:
+            # Programs only add latency for recirculated passes, so the
+            # (per-packet) lookup is skipped for the common single-pass
+            # case.
+            latency += self.program.extra_latency_ns(ctx)
         self.packets_out += 1
         self.env.schedule_in(latency, lambda: self.send_out(egress, packet))
 

@@ -64,6 +64,7 @@ class BaseTopology:
         port_buffer_bytes: int = DEFAULT_PORT_BUFFER_BYTES,
         seed: int = 1,
         traffic_model: Optional[TrafficModel] = None,
+        fast_path: bool = False,
     ) -> ServerAttachment:
         """Wire one binding: a PktGen on the ingress ports, a server on the NF port."""
         pktgen = TrafficGenNode(
@@ -94,6 +95,7 @@ class BaseTopology:
             name=f"server-{binding.name}",
             switch_port=0,
             seed=seed,
+            cache_cost_model=fast_path,
         )
         server_link = Link(
             self.env,
@@ -156,6 +158,7 @@ class SingleServerTopology(BaseTopology):
         port_buffer_bytes: int = DEFAULT_PORT_BUFFER_BYTES,
         seed: int = 1,
         traffic_model: Optional[TrafficModel] = None,
+        fast_path: bool = False,
     ) -> None:
         super().__init__(env, program)
         if len(program.bindings) != 1:
@@ -170,6 +173,7 @@ class SingleServerTopology(BaseTopology):
             port_buffer_bytes=port_buffer_bytes,
             seed=seed,
             traffic_model=traffic_model,
+            fast_path=fast_path,
         )
 
     @property
@@ -197,6 +201,7 @@ class MultiServerTopology(BaseTopology):
         server_link_gbps: Optional[float] = None,
         port_buffer_bytes: int = DEFAULT_PORT_BUFFER_BYTES,
         traffic_model: Optional[TrafficModel] = None,
+        fast_path: bool = False,
     ) -> None:
         super().__init__(env, program)
         bindings = program.bindings
@@ -217,4 +222,5 @@ class MultiServerTopology(BaseTopology):
                 port_buffer_bytes=port_buffer_bytes,
                 seed=index + 1,
                 traffic_model=traffic_model,
+                fast_path=fast_path,
             )

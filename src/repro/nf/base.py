@@ -75,6 +75,16 @@ class NetworkFunction:
         self.packets_seen = 0
         self.packets_dropped = 0
 
+    def enable_fast_path(self, enabled: bool = True) -> None:
+        """Opt into behaviour-preserving per-NF caches (default: no-op).
+
+        NFs whose per-packet decision is a pure function of the packet
+        override this: the firewall memoizes verdicts, the Maglev LB
+        memoizes its (deterministic-per-flow) backend choice.  NFs with
+        per-packet state transitions (the NAT's binding allocation)
+        keep the default no-op — their work cannot be skipped.
+        """
+
     def forward(self, cycles: int) -> NfResult:
         """Helper: build a FORWARD result with *cycles* total cost."""
         return NfResult(verdict=NfVerdict.FORWARD, cycles=cycles)

@@ -73,17 +73,88 @@ class Firewall(NetworkFunction):
         super().__init__(name=name or "Firewall")
         self.rules: List[FirewallRule] = list(rules or [])
         self.cycles_per_rule = cycles_per_rule
+        #: Fast-path verdict memo keyed by the fields the ACL examines
+        #: (source address, destination port); None = disabled.
+        self._verdict_cache: Optional[dict] = None
+        #: Fast-path pre-masked rule list: (mask, masked network, dst_port).
+        self._compiled_rules: Optional[list] = None
 
     def add_rule(self, rule: FirewallRule) -> None:
         """Append an ACL entry."""
         self.rules.append(rule)
+        if self._verdict_cache is not None:
+            self._verdict_cache.clear()
+            self._compiled_rules = None
+
+    def enable_fast_path(self, enabled: bool = True) -> None:
+        """Memoize verdicts per (src address, dst port).
+
+        The ACL is stateless and rules only test the source prefix and
+        optional destination port, so the verdict — including the probed
+        rule count that sets the cycle cost — is a pure function of that
+        pair.  Cold lookups probe a pre-masked rule list instead of
+        calling :meth:`FirewallRule.matches` per rule.  ``add_rule``
+        invalidates both structures.
+        """
+        self._verdict_cache = {} if enabled else None
+        self._compiled_rules = None
 
     def process(self, packet: Packet) -> NfResult:
         """Probe the ACL; drop on the first match."""
+        cache = self._verdict_cache
+        if cache is not None:
+            ip = packet.ip
+            l4 = packet.l4
+            key = (
+                ip.src.value if ip is not None else None,
+                l4.dst_port if l4 is not None else None,
+            )
+            result = cache.get(key)
+            if result is None:
+                result = self._probe_compiled(key[0], key[1])
+                if len(cache) >= 65_536:
+                    cache.clear()
+                cache[key] = result
+            return result
+        return self._probe(packet)
+
+    def _probe(self, packet: Packet) -> NfResult:
         probed = 0
         for rule in self.rules:
             probed += 1
             if rule.matches(packet):
+                cycles = self.base_cycles + probed * self.cycles_per_rule
+                return self.drop(cycles, reason=f"blacklisted by rule {probed - 1}")
+        cycles = self.base_cycles + probed * self.cycles_per_rule
+        return self.forward(cycles)
+
+    def _probe_compiled(self, src_value: Optional[int], dst_port: Optional[int]) -> NfResult:
+        """Linear probe over pre-masked rules; same verdicts as :meth:`_probe`."""
+        compiled = self._compiled_rules
+        if compiled is None:
+            compiled = self._compiled_rules = [
+                (
+                    (0xFFFFFFFF << (32 - rule.prefix_len)) & 0xFFFFFFFF
+                    if rule.prefix_len
+                    else 0,
+                    rule.network.value
+                    & (
+                        (0xFFFFFFFF << (32 - rule.prefix_len)) & 0xFFFFFFFF
+                        if rule.prefix_len
+                        else 0
+                    ),
+                    rule.dst_port,
+                )
+                for rule in self.rules
+            ]
+        probed = 0
+        for mask, network, port in compiled:
+            probed += 1
+            if (
+                src_value is not None
+                and (src_value & mask) == network
+                and (port is None or port == dst_port)
+            ):
                 cycles = self.base_cycles + probed * self.cycles_per_rule
                 return self.drop(cycles, reason=f"blacklisted by rule {probed - 1}")
         cycles = self.base_cycles + probed * self.cycles_per_rule

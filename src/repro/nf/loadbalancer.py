@@ -82,6 +82,14 @@ class MaglevLoadBalancer(NetworkFunction):
         self.rewrite_cycles = rewrite_cycles
         self.lookup_table: List[int] = self._populate()
         self.assignments: Dict[str, int] = {backend.name: 0 for backend in self.backends}
+        #: Fast-path memo: flow -> backend.  Maglev is deterministic per
+        #: flow (that is its whole point), so the FNV walk over the
+        #: 5-tuple can be skipped for flows already mapped.
+        self._backend_cache: Optional[Dict[FiveTuple, Backend]] = None
+
+    def enable_fast_path(self, enabled: bool = True) -> None:
+        """Memoize the per-flow backend choice (behaviour-preserving)."""
+        self._backend_cache = {} if enabled else None
 
     # ------------------------------------------------------------------ #
     # Maglev table population
@@ -127,6 +135,17 @@ class MaglevLoadBalancer(NetworkFunction):
 
     def backend_for(self, flow: FiveTuple) -> Backend:
         """Return the backend consistently chosen for *flow*."""
+        cache = self._backend_cache
+        if cache is not None:
+            backend = cache.get(flow)
+            if backend is None:
+                backend = self.backends[
+                    self.lookup_table[flow.stable_hash() % self.table_size]
+                ]
+                if len(cache) >= 65_536:
+                    cache.clear()
+                cache[flow] = backend
+            return backend
         index = self.lookup_table[flow.stable_hash() % self.table_size]
         return self.backends[index]
 

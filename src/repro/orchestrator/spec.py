@@ -59,6 +59,7 @@ SCENARIO_OVERRIDES = frozenset(
         "cpu_ghz",
         "gen_link_gbps",
         "switch_latency_ns",
+        "fast_path",
     }
 )
 

@@ -27,6 +27,9 @@ ETHERNET_UDP_HEADER_BYTES = 42
 
 _packet_ids = itertools.count()
 
+#: Resolved on first use by :meth:`Packet.five_tuple` (import-cycle guard).
+_FiveTuple = None
+
 
 @dataclass
 class Packet:
@@ -165,11 +168,19 @@ class Packet:
 
         Includes the PayloadPark header if attached.  After Split the
         payload has been truncated, so the wire length shrinks — that is
-        the whole point of PayloadPark.
+        the whole point of PayloadPark.  (Computed inline rather than
+        via :attr:`header_length`: this property runs several times per
+        simulated hop.)
         """
-        length = self.header_length + len(self.payload)
-        if self.pp is not None:
-            length += self.pp.byte_length()
+        length = EthernetHeader.HEADER_LEN + len(self.payload)
+        if self.ip is not None:
+            length += IPv4Header.HEADER_LEN
+        l4 = self.l4
+        if l4 is not None:
+            length += l4.HEADER_LEN
+        pp = self.pp
+        if pp is not None:
+            length += pp.byte_length()
         return length
 
     @property
@@ -190,10 +201,15 @@ class Packet:
     def five_tuple(self):
         """Return ``(src_ip, dst_ip, proto, src_port, dst_port)`` or ``None``.
 
-        Imported lazily to avoid a cycle with :mod:`repro.packet.flows`.
+        Imported lazily (then memoized at module level) to avoid a cycle
+        with :mod:`repro.packet.flows`.
         """
-        from repro.packet.flows import FiveTuple
+        global _FiveTuple
+        FiveTuple = _FiveTuple
+        if FiveTuple is None:
+            from repro.packet.flows import FiveTuple
 
+            _FiveTuple = FiveTuple
         if self.ip is None or self.l4 is None:
             return None
         return FiveTuple(

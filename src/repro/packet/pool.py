@@ -1,0 +1,157 @@
+"""Flyweight packet templates: the traffic generators' pooled fast path.
+
+``Packet.udp`` re-parses MAC and IPv4 address strings and re-validates
+every header field for each generated frame, even though a traffic
+generator emits millions of frames that differ only in size and flow.
+:class:`FramePool` keeps one fully-built prototype :class:`Packet` per
+flow (and per blacklist source) and clones it per frame: the immutable
+pieces — :class:`~repro.packet.ethernet.MacAddress`,
+:class:`~repro.packet.ipv4.IPv4Address`, payload byte slices — are
+shared outright, mutable headers are duplicated with a ``__dict__`` copy
+that skips ``__init__`` validation, and the two length fields that
+depend on frame size are patched afterwards.
+
+The pooled frames are byte-for-byte identical to what
+:func:`repro.traffic.pktgen.build_udp_frame` produces (``tests/unit``
+asserts wire-image equality), so the slow and fast generator paths are
+interchangeable; checksums and tag CRCs are not precomputed here but
+lazily, exactly where the reference path computes them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.packet.ethernet import ETHERTYPE_IPV4, EthernetHeader, MacAddress
+from repro.packet.ipv4 import PROTO_UDP, IPv4Address, IPv4Header
+from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES, Packet, _packet_ids
+from repro.packet.udp import UdpHeader
+
+#: Same reusable payload pattern the reference generator slices from
+#: (see ``_PAYLOAD_PATTERN`` in :mod:`repro.traffic.pktgen`).
+_PAYLOAD_PATTERN = bytes(range(256)) * 8
+
+#: payload length -> payload bytes, shared by every pool in the process
+#: (the pattern is deterministic, so slices are interchangeable).
+_PAYLOAD_SLICES: Dict[int, bytes] = {}
+
+#: Growth bound for the payload-slice memo; workloads draw sizes from
+#: empirical distributions, so distinct lengths number in the hundreds.
+_MAX_PAYLOAD_SLICES = 8192
+
+
+def payload_slice(payload_len: int) -> bytes:
+    """The deterministic payload of *payload_len* bytes, memoized.
+
+    Byte-for-byte the payload :func:`repro.traffic.pktgen.build_udp_frame`
+    produces: a slice of the repeating 0x00..0xFF pattern.
+    """
+    payload = _PAYLOAD_SLICES.get(payload_len)
+    if payload is None:
+        payload = _PAYLOAD_PATTERN[:payload_len]
+        if len(payload) < payload_len:
+            payload = (
+                _PAYLOAD_PATTERN * (payload_len // len(_PAYLOAD_PATTERN) + 1)
+            )[:payload_len]
+        if len(_PAYLOAD_SLICES) >= _MAX_PAYLOAD_SLICES:
+            _PAYLOAD_SLICES.clear()
+        _PAYLOAD_SLICES[payload_len] = payload
+    return payload
+
+
+class _FrameTemplate:
+    """One prototype frame: pre-built headers for a (flow, src) identity."""
+
+    __slots__ = ("eth", "ip", "l4")
+
+    def __init__(self, eth: EthernetHeader, ip: IPv4Header, l4: UdpHeader) -> None:
+        self.eth = eth
+        self.ip = ip
+        self.l4 = l4
+
+    def build(self, size: int) -> Packet:
+        """Clone the prototype into a fresh frame of *size* wire bytes."""
+        if size < ETHERNET_UDP_HEADER_BYTES:
+            size = ETHERNET_UDP_HEADER_BYTES
+        payload_len = size - ETHERNET_UDP_HEADER_BYTES
+        udp_len = UdpHeader.HEADER_LEN + payload_len
+
+        eth = object.__new__(EthernetHeader)
+        eth.__dict__.update(self.eth.__dict__)
+        ip = object.__new__(IPv4Header)
+        ip.__dict__.update(self.ip.__dict__)
+        ip.total_length = IPv4Header.HEADER_LEN + udp_len
+        l4 = object.__new__(UdpHeader)
+        l4.__dict__.update(self.l4.__dict__)
+        l4.length = udp_len
+
+        packet = object.__new__(Packet)
+        packet.eth = eth
+        packet.ip = ip
+        packet.l4 = l4
+        packet.payload = payload_slice(payload_len)
+        packet.pp = None
+        packet.meta = {}
+        packet.packet_id = next(_packet_ids)
+        return packet
+
+
+class FramePool:
+    """Builds UDP frames from per-flow templates (the pooled fast path).
+
+    Parameters
+    ----------
+    src_mac / dst_mac:
+        Ethernet addresses stamped on every frame; parsed once.
+    max_templates:
+        Bound on the template dictionary.  Flow-churn workloads mint new
+        5-tuples forever; when the bound is hit the pool resets rather
+        than grow without limit (templates are cheap to rebuild).
+    """
+
+    def __init__(self, src_mac: str, dst_mac: str, max_templates: int = 65_536) -> None:
+        self._src_mac = MacAddress.from_string(src_mac)
+        self._dst_mac = MacAddress.from_string(dst_mac)
+        self._templates: Dict[Tuple, _FrameTemplate] = {}
+        self._max_templates = max_templates
+        self.templates_built = 0
+
+    def frame(self, size: int, flow, src_ip: Optional[IPv4Address] = None) -> Packet:
+        """Build one UDP frame of *size* wire bytes for *flow*.
+
+        *src_ip* (an already-parsed :class:`IPv4Address`) overrides the
+        flow's source for blacklist steering, mirroring the ``src_ip``
+        string argument of :func:`~repro.traffic.pktgen.build_udp_frame`.
+        Overridden sources are one-shot (the blacklist generator walks
+        its subnet), so they are built directly instead of cached.
+        """
+        if src_ip is not None:
+            return self._make_template(flow, src_ip).build(size)
+        key = (flow.src_ip.value, flow.dst_ip.value, flow.src_port, flow.dst_port)
+        template = self._templates.get(key)
+        if template is None:
+            template = self._make_template(flow, src_ip)
+            if len(self._templates) >= self._max_templates:
+                self._templates.clear()
+            self._templates[key] = template
+        return template.build(size)
+
+    def _make_template(self, flow, src_ip: Optional[IPv4Address]) -> _FrameTemplate:
+        self.templates_built += 1
+        return _FrameTemplate(
+            eth=EthernetHeader(
+                dst=self._dst_mac, src=self._src_mac, ethertype=ETHERTYPE_IPV4
+            ),
+            ip=IPv4Header(
+                src=src_ip if src_ip is not None else flow.src_ip,
+                dst=flow.dst_ip,
+                protocol=PROTO_UDP,
+                # Patched per frame in _FrameTemplate.build.
+                total_length=IPv4Header.HEADER_LEN + UdpHeader.HEADER_LEN,
+            ),
+            l4=UdpHeader(
+                src_port=flow.src_port,
+                dst_port=flow.dst_port,
+                length=UdpHeader.HEADER_LEN,
+            ),
+        )

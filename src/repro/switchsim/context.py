@@ -11,13 +11,18 @@ and per-pass bookkeeping such as the register-access guard.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.packet.packet import Packet
 
+#: ``slots=True`` trims per-packet context allocation, but only exists
+#: from Python 3.10; older interpreters fall back to normal dataclasses.
+_DATACLASS_OPTIONS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass
+
+@dataclass(**_DATACLASS_OPTIONS)
 class PipelinePacket:
     """A packet travelling through one pass of a switch pipe.
 
@@ -41,6 +46,9 @@ class PipelinePacket:
     register_reads / register_writes:
         Per-pass access counts keyed by register-array name, used to
         enforce the one-stateful-access-per-array-per-pass restriction.
+        Allocated lazily by the access guard (``None`` until the first
+        guarded access), since the fast path disables the guard and a
+        context is created per packet per pass.
     """
 
     packet: Packet
@@ -51,8 +59,8 @@ class PipelinePacket:
     drop_reason: str = ""
     recirculations: int = 0
     recirculate_requested: bool = False
-    register_reads: Dict[str, int] = field(default_factory=dict)
-    register_writes: Dict[str, int] = field(default_factory=dict)
+    register_reads: Optional[Dict[str, int]] = None
+    register_writes: Optional[Dict[str, int]] = None
 
     def drop(self, reason: str) -> None:
         """Mark the packet as dropped with a reason for the counters."""
@@ -69,6 +77,8 @@ class PipelinePacket:
 
     def reset_pass_state(self) -> None:
         """Clear per-pass bookkeeping before a recirculation pass."""
-        self.register_reads.clear()
-        self.register_writes.clear()
+        if self.register_reads is not None:
+            self.register_reads.clear()
+        if self.register_writes is not None:
+            self.register_writes.clear()
         self.recirculate_requested = False

@@ -40,6 +40,25 @@ class MatchActionTable:
         SRAM bytes per exact-match entry (key + action data + overhead).
     vliw_slots:
         VLIW action slots the action consumes.
+    ingress_ports:
+        Optional fast-path gate: the set of ingress ports on which this
+        table can possibly match.  The contract is ``match(ctx) is True
+        implies ctx.ingress_port in ingress_ports`` — the compiled
+        pipeline walk then skips the (potentially expensive) match
+        predicate for packets from other ports and records a miss, which
+        is exactly what the predicate would have returned.  ``None``
+        disables the gate.
+    port_implies_match:
+        Declares that the match predicate tests *only* membership of the
+        ingress port in ``ingress_ports``, so a packet that passes the
+        port gate is guaranteed to match.  The compiled walk then runs
+        the action directly.
+    stateful:
+        Whether the table's match/action read or write per-packet
+        mutable switch state (register arrays, lookup tables, metadata
+        carried between packets).  Only programs composed entirely of
+        stateless tables are eligible for the program-level decision
+        cache (see :class:`~repro.core.program.SwitchProgram`).
     """
 
     def __init__(
@@ -52,6 +71,9 @@ class MatchActionTable:
         entries: int = 1,
         entry_bytes: int = 16,
         vliw_slots: int = 1,
+        ingress_ports: Optional[frozenset] = None,
+        stateful: bool = True,
+        port_implies_match: bool = False,
     ) -> None:
         self.name = name
         self.match = match
@@ -61,6 +83,9 @@ class MatchActionTable:
         self.entries = entries
         self.entry_bytes = entry_bytes
         self.vliw_slots = vliw_slots
+        self.ingress_ports = ingress_ports
+        self.stateful = stateful
+        self.port_implies_match = port_implies_match
         self.hit_count = 0
         self.miss_count = 0
 

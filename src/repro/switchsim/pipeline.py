@@ -26,6 +26,18 @@ class Pipeline:
         self.stage_count = stage_count
         self.budget = budget or ResourceBudget()
         self.stages: List[Stage] = [Stage(i, budget=self.budget) for i in range(stage_count)]
+        #: Bumped whenever a stage gains a table; decision caches compare
+        #: it so control-plane table installs invalidate stale entries.
+        self.version = 0
+        self._compiled = None
+        self._compiled_by_port = {}
+        for stage in self.stages:
+            stage.on_change = self._invalidate_compiled
+
+    def _invalidate_compiled(self) -> None:
+        self.version += 1
+        self._compiled = None
+        self._compiled_by_port = {}
 
     def stage(self, index: int) -> Stage:
         """Return stage *index* (0-based)."""
@@ -41,6 +53,72 @@ class Pipeline:
             if ctx.dropped:
                 break
             stage.apply(ctx)
+        return ctx
+
+    # ------------------------------------------------------------------ #
+    # Fast path
+    # ------------------------------------------------------------------ #
+
+    def compiled_tables(self):
+        """Tables of every stage flattened into one ordered walk list.
+
+        Each entry is ``(table, ingress_ports, match, action)``.  The
+        list is rebuilt lazily whenever a table is installed (see
+        ``version``); empty stages disappear from the walk entirely.
+        """
+        compiled = self._compiled
+        if compiled is None:
+            compiled = [
+                (table, table.ingress_ports, table.match, table.action)
+                for stage in self.stages
+                for table in stage.tables
+            ]
+            self._compiled = compiled
+            self._compiled_by_port = {}
+        return compiled
+
+    def _compile_for_port(self, port: int):
+        """Specialize the walk for one ingress port.
+
+        Entries are ``(mode, table, match, action)`` in stage order:
+        ``mode`` 0 = gated off by ``ingress_ports`` (record a miss, skip
+        the predicate — the result the predicate would produce, per the
+        MatchActionTable contract); 1 = evaluate the predicate; 2 = the
+        port gate alone implies a hit, run the action directly.
+        """
+        entries = []
+        for table, ports, match, action in self.compiled_tables():
+            if ports is not None and port not in ports:
+                entries.append((0, table, match, action))
+            elif match is None or (ports is not None and table.port_implies_match):
+                entries.append((2, table, match, action))
+            else:
+                entries.append((1, table, match, action))
+        self._compiled_by_port[port] = entries
+        return entries
+
+    def process_fast(self, ctx: PipelinePacket) -> PipelinePacket:
+        """One pass over the port-specialized table list (fast path).
+
+        Semantically identical to :meth:`process`: the same tables run
+        in the same order with the same hit/miss accounting, but the
+        per-stage loop, the port gates and port-implied matches are
+        resolved at compile time instead of per packet.
+        """
+        self.compiled_tables()  # ensures the port cache is current
+        entries = self._compiled_by_port.get(ctx.ingress_port)
+        if entries is None:
+            entries = self._compile_for_port(ctx.ingress_port)
+        for mode, table, match, action in entries:
+            if ctx.dropped:
+                break
+            if mode == 0:
+                table.miss_count += 1
+            elif mode == 2 or match(ctx):
+                action(ctx)
+                table.hit_count += 1
+            else:
+                table.miss_count += 1
         return ctx
 
     def sram_bytes_used(self) -> int:

@@ -40,7 +40,15 @@ class RegisterArray:
     enforce_single_access:
         Enforce the one-access-per-packet-pass restriction (on by
         default; tests may relax it to model hypothetical hardware).
+
+    The guard's per-access bookkeeping is skipped entirely when
+    ``guard_enabled`` is False — the program fast path flips it off once
+    a program has been exercised with the guard on, since the guard is a
+    development-time assertion (it can only raise on P4-impossible
+    programs) rather than observable simulation state.
     """
+
+    guard_enabled = True
 
     def __init__(
         self,
@@ -76,13 +84,15 @@ class RegisterArray:
     def read(self, ctx: PipelinePacket, index: int) -> Any:
         """Read entry *index* on behalf of the packet in *ctx*."""
         self._check_index(index)
-        self._note_access(ctx, is_write=False)
+        if self.guard_enabled:
+            self._note_access(ctx, is_write=False)
         return self._values[index]
 
     def write(self, ctx: PipelinePacket, index: int, value: Any) -> None:
         """Write entry *index* on behalf of the packet in *ctx*."""
         self._check_index(index)
-        self._note_access(ctx, is_write=True)
+        if self.guard_enabled:
+            self._note_access(ctx, is_write=True)
         self._values[index] = value
 
     def read_modify_write(self, ctx: PipelinePacket, index: int, func) -> Any:
@@ -93,7 +103,8 @@ class RegisterArray:
         decrement.  Returns the *new* value.
         """
         self._check_index(index)
-        self._note_access(ctx, is_write=True)
+        if self.guard_enabled:
+            self._note_access(ctx, is_write=True)
         new_value = func(self._values[index])
         self._values[index] = new_value
         return new_value
@@ -107,7 +118,8 @@ class RegisterArray:
         lines 21–23).
         """
         self._check_index(index)
-        self._note_access(ctx, is_write=True)
+        if self.guard_enabled:
+            self._note_access(ctx, is_write=True)
         old_value = self._values[index]
         self._values[index] = new_value
         return old_value
@@ -143,6 +155,10 @@ class RegisterArray:
             raise IndexError(f"register array {self.name!r}: index {index} out of range")
 
     def _note_access(self, ctx: PipelinePacket, is_write: bool) -> None:
+        if ctx.register_reads is None:
+            ctx.register_reads = {}
+        if ctx.register_writes is None:
+            ctx.register_writes = {}
         reads = ctx.register_reads.get(self.name, 0)
         writes = ctx.register_writes.get(self.name, 0)
         if self.enforce_single_access and (reads + writes) >= 1:

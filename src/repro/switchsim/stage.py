@@ -25,6 +25,10 @@ class Stage:
         self.resources = StageResources(budget=budget or ResourceBudget())
         self.tables: List[MatchActionTable] = []
         self.register_arrays: List[RegisterArray] = []
+        #: Invalidation callback installed by the owning pipeline so its
+        #: compiled table walk (and any program-level decision cache
+        #: keyed on the pipeline version) notices late table additions.
+        self.on_change: Optional[Any] = None
 
     def add_table(self, table: MatchActionTable) -> MatchActionTable:
         """Place *table* in this stage, charging its resource usage."""
@@ -35,6 +39,8 @@ class Stage:
         else:
             self.resources.allocate_sram(table.entries * table.entry_bytes, what=table.name)
         self.tables.append(table)
+        if self.on_change is not None:
+            self.on_change()
         return table
 
     def add_register_array(

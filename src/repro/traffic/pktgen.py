@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.packet.ipv4 import IPv4Address
 from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES, Packet
+from repro.packet.pool import FramePool
 from repro.traffic.workload import BLACKLISTED_SUBNET, Workload
 
 #: A reusable payload pattern; slices of it fill every generated frame so
@@ -78,6 +79,12 @@ class PktGenConfig:
         Ethernet addresses stamped on generated frames (the destination
         is the traffic generator's own sink MAC so merged packets return
         to it, as in the paper's measurement loop).
+    pooled:
+        Build frames from per-flow :class:`~repro.packet.pool.FramePool`
+        templates instead of re-parsing header strings per packet.  The
+        frames are identical (same RNG draws, same packet-id sequence,
+        same wire bytes); this is the packet half of the simulator's
+        fast path, enabled via ``ScenarioConfig.fast_path``.
     """
 
     rate_gbps: float
@@ -86,6 +93,7 @@ class PktGenConfig:
     seed: int = 42
     src_mac: str = "02:00:00:00:00:01"
     dst_mac: str = "02:00:00:00:00:02"
+    pooled: bool = False
 
     def __post_init__(self) -> None:
         if self.rate_gbps <= 0:
@@ -102,27 +110,43 @@ class PacketFactory:
         self._rng = random.Random(config.seed)
         self._flows = config.workload.flows.flows()
         self._flow_cursor = 0
+        self._pool = (
+            FramePool(config.src_mac, config.dst_mac) if config.pooled else None
+        )
         self.packets_built = 0
 
     def next_packet(self) -> Packet:
-        """Build the next frame (size, flow and blacklist marking)."""
+        """Build the next frame (size, flow and blacklist marking).
+
+        The pooled and string-parsing paths consume the RNG identically
+        and emit byte-identical frames with the same packet-id sequence,
+        so toggling ``config.pooled`` cannot change simulation results.
+        """
         workload = self.config.workload
         size = workload.sizes.sample(self._rng)
         flow = self._flows[self._flow_cursor]
         self._flow_cursor = (self._flow_cursor + 1) % len(self._flows)
 
-        src_ip = None
-        if workload.blacklisted_fraction > 0 and self._rng.random() < workload.blacklisted_fraction:
-            # Steer this packet into the firewall's blacklisted subnet.
-            src_ip = str(blacklisted_source(self.packets_built))
-
-        packet = build_udp_frame(
-            size,
-            flow,
-            src_mac=self.config.src_mac,
-            dst_mac=self.config.dst_mac,
-            src_ip=src_ip,
+        # Steer a sampled fraction of packets into the firewall's
+        # blacklisted subnet.
+        blacklisted = (
+            workload.blacklisted_fraction > 0
+            and self._rng.random() < workload.blacklisted_fraction
         )
+        if self._pool is not None:
+            packet = self._pool.frame(
+                size,
+                flow,
+                src_ip=blacklisted_source(self.packets_built) if blacklisted else None,
+            )
+        else:
+            packet = build_udp_frame(
+                size,
+                flow,
+                src_mac=self.config.src_mac,
+                dst_mac=self.config.dst_mac,
+                src_ip=str(blacklisted_source(self.packets_built)) if blacklisted else None,
+            )
         self.packets_built += 1
         return packet
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.packet.packet import Packet
+from repro.packet.pool import FramePool
 from repro.traffic.distributions import PacketSizeDistribution
 from repro.traffic.pktgen import blacklisted_source, build_udp_frame
 from repro.traffic.workload import Workload
@@ -49,6 +50,7 @@ class GenerativePacketSource:
         src_mac: str = "02:00:00:00:00:01",
         dst_mac: str = "02:00:00:00:00:02",
         blacklisted_fraction: float = 0.0,
+        pooled: bool = False,
     ) -> None:
         self.sizes = sizes
         self.flow_sampler = flow_sampler
@@ -56,22 +58,43 @@ class GenerativePacketSource:
         self.src_mac = src_mac
         self.dst_mac = dst_mac
         self.blacklisted_fraction = blacklisted_fraction
+        #: Fast-path flag: clone frames from pooled per-flow templates.
+        #: May be flipped until the first packet is built (the topology
+        #: sets it together with the generator MACs).
+        self.pooled = pooled
+        self._pool: Optional[FramePool] = None
         self.packets_built = 0
 
     def next_packet(self) -> Packet:
-        """Build the next frame deterministically from the bound RNG."""
+        """Build the next frame deterministically from the bound RNG.
+
+        Pooled and reference paths draw from the RNG identically and
+        produce byte-identical frames, so ``pooled`` cannot change
+        simulation results.
+        """
         size = self.sizes.sample(self._rng)
         flow = self.flow_sampler.next_flow()
-        src_ip = None
-        if self.blacklisted_fraction > 0 and self._rng.random() < self.blacklisted_fraction:
-            src_ip = str(blacklisted_source(self.packets_built))
-        packet = build_udp_frame(
-            size,
-            flow,
-            src_mac=self.src_mac,
-            dst_mac=self.dst_mac,
-            src_ip=src_ip,
+        blacklisted = (
+            self.blacklisted_fraction > 0
+            and self._rng.random() < self.blacklisted_fraction
         )
+        if self.pooled:
+            pool = self._pool
+            if pool is None:
+                pool = self._pool = FramePool(self.src_mac, self.dst_mac)
+            packet = pool.frame(
+                size,
+                flow,
+                src_ip=blacklisted_source(self.packets_built) if blacklisted else None,
+            )
+        else:
+            packet = build_udp_frame(
+                size,
+                flow,
+                src_mac=self.src_mac,
+                dst_mac=self.dst_mac,
+                src_ip=str(blacklisted_source(self.packets_built)) if blacklisted else None,
+            )
         self.packets_built += 1
         return packet
 
@@ -140,6 +163,7 @@ class GenerativeWorkload(WorkloadSpec):
             source = self.packet_source(config.seed)
             source.src_mac = config.src_mac
             source.dst_mac = config.dst_mac
+            source.pooled = getattr(config, "pooled", False)
             return source
 
         return TrafficModel(

@@ -1,0 +1,55 @@
+"""Cross-process determinism of the CLI experiment output.
+
+The paper-reproduction claim requires that ``repro run <fig> --json``
+is a pure function of (experiment, seed, time scale): two separate
+processes must emit byte-identical JSON, on the fast path and on the
+reference slow path — and the two paths must agree with each other.
+Running in fresh subprocesses catches determinism bugs that in-process
+tests cannot (hash randomization, import-order state, id()-keyed
+caches).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BASE_COMMAND = [
+    sys.executable,
+    "-m",
+    "repro",
+    "run",
+    "fig07",
+    "--json",
+    "--seed",
+    "42",
+    "--time-scale",
+    "0.05",
+]
+
+
+def _run_cli(extra_args=()):
+    result = subprocess.run(
+        [*BASE_COMMAND, *extra_args],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PYTHONHASHSEED": "random"},
+        capture_output=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr.decode()
+    return result.stdout
+
+
+@pytest.mark.parametrize("mode_args", ((), ("--slow-path",)), ids=("fast", "slow"))
+def test_fig07_json_is_byte_identical_across_processes(mode_args):
+    first = _run_cli(mode_args)
+    second = _run_cli(mode_args)
+    assert first == second
+    assert first.startswith(b"{")
+
+
+def test_fast_and_slow_paths_emit_identical_json():
+    assert _run_cli(()) == _run_cli(("--slow-path",))

@@ -1,19 +1,24 @@
-"""Edge-case coverage for the discrete-event loop.
+"""Edge-case coverage for the discrete-event loops.
 
 The orchestrator's correctness rests on runs being deterministic and
-independent; these tests pin the event loop's corner behaviours —
-horizon handling, tie-breaking, scheduling boundaries — that the basic
-suite in ``test_netsim.py`` does not reach.
+independent; these tests pin the corner behaviours — horizon handling,
+tie-breaking, scheduling boundaries — that the basic suite in
+``test_netsim.py`` does not reach.  Every case runs against both the
+reference heap loop and the fast calendar loop, which must agree.
 """
 
 import pytest
 
-from repro.netsim.eventloop import EventLoop
+from repro.netsim.eventloop import EventLoop, FastEventLoop
+
+
+@pytest.fixture(params=[EventLoop, FastEventLoop], ids=["reference", "fast"])
+def env(request):
+    return request.param()
 
 
 class TestSchedulingBoundaries:
-    def test_schedule_at_current_time_is_allowed(self):
-        env = EventLoop()
+    def test_schedule_at_current_time_is_allowed(self, env):
         env.schedule_in(10, lambda: None)
         env.run_until(10)
         fired = []
@@ -21,8 +26,7 @@ class TestSchedulingBoundaries:
         env.run_until(10)
         assert fired == [10]
 
-    def test_schedule_in_zero_runs_after_current_event(self):
-        env = EventLoop()
+    def test_schedule_in_zero_runs_after_current_event(self, env):
         order = []
         env.schedule_at(5, lambda: (order.append("first"),
                                     env.schedule_in(0, lambda: order.append("second"))))
@@ -30,8 +34,7 @@ class TestSchedulingBoundaries:
         assert order == ["first", "second"]
         assert env.now == 5
 
-    def test_scheduling_in_past_raises_even_mid_run(self):
-        env = EventLoop()
+    def test_scheduling_in_past_raises_even_mid_run(self, env):
         errors = []
 
         def try_past():
@@ -44,40 +47,54 @@ class TestSchedulingBoundaries:
         env.run_until(100)
         assert len(errors) == 1 and "past" in errors[0]
 
-    def test_negative_delay_rejected(self):
-        env = EventLoop()
+    def test_negative_delay_rejected(self, env):
         with pytest.raises(ValueError, match="non-negative"):
             env.schedule_in(-5, lambda: None)
 
+    def test_schedule_many_rejects_past_events(self, env):
+        env.run_until(100)
+        with pytest.raises(ValueError, match="past"):
+            env.schedule_many([(150, lambda: None), (50, lambda: None)])
+
 
 class TestHorizonSemantics:
-    def test_run_until_advances_now_to_horizon_with_empty_queue(self):
-        env = EventLoop()
+    def test_run_until_advances_now_to_horizon_with_empty_queue(self, env):
         env.run_until(1_000)
         assert env.now == 1_000
 
-    def test_run_until_advances_now_past_last_event(self):
-        env = EventLoop()
+    def test_run_until_advances_now_past_last_event(self, env):
         env.schedule_in(10, lambda: None)
         env.run_until(500)
         assert env.now == 500
 
-    def test_event_exactly_at_horizon_executes(self):
-        env = EventLoop()
+    def test_event_exactly_at_horizon_executes(self, env):
         fired = []
         env.schedule_at(100, lambda: fired.append(True))
         env.run_until(100)
         assert fired == [True]
         assert env.pending_events == 0
 
-    def test_earlier_horizon_does_not_move_time_backwards(self):
-        env = EventLoop()
+    def test_earlier_horizon_does_not_move_time_backwards(self, env):
         env.run_until(1_000)
         env.run_until(10)
         assert env.now == 1_000
 
-    def test_successive_windows_partition_events(self):
-        env = EventLoop()
+    def test_earlier_horizon_with_pending_events_is_a_clamped_no_op(self, env):
+        # The regression this pins: after a prior run advanced ``now``,
+        # calling run_until with an earlier horizon must neither rewind
+        # the clock nor execute (or lose) the still-pending events.
+        env.run_until(1_000)
+        fired = []
+        env.schedule_at(1_500, lambda: fired.append(env.now))
+        env.run_until(10)
+        assert env.now == 1_000
+        assert fired == []
+        assert env.pending_events == 1
+        env.run_until(2_000)
+        assert fired == [1_500]
+        assert env.now == 2_000
+
+    def test_successive_windows_partition_events(self, env):
         hits = []
         for when in (10, 20, 30, 40):
             env.schedule_at(when, lambda w=when: hits.append(w))
@@ -88,8 +105,7 @@ class TestHorizonSemantics:
 
 
 class TestOrderingAndAccounting:
-    def test_ties_preserve_scheduling_order_across_interleaved_times(self):
-        env = EventLoop()
+    def test_ties_preserve_scheduling_order_across_interleaved_times(self, env):
         order = []
         env.schedule_at(7, lambda: order.append("a"))
         env.schedule_at(5, lambda: order.append("b"))
@@ -98,8 +114,7 @@ class TestOrderingAndAccounting:
         env.run_until(10)
         assert order == ["b", "d", "a", "c"]
 
-    def test_ties_scheduled_from_callbacks_run_after_existing_ties(self):
-        env = EventLoop()
+    def test_ties_scheduled_from_callbacks_run_after_existing_ties(self, env):
         order = []
         env.schedule_at(5, lambda: (order.append(1),
                                     env.schedule_at(5, lambda: order.append(3))))
@@ -107,19 +122,37 @@ class TestOrderingAndAccounting:
         env.run_until(5)
         assert order == [1, 2, 3]
 
-    def test_events_executed_counts_only_executed(self):
-        env = EventLoop()
+    def test_events_executed_counts_only_executed(self, env):
         for when in (10, 20, 30):
             env.schedule_at(when, lambda: None)
         env.run_until(20)
         assert env.events_executed == 2
         assert env.pending_events == 1
 
-    def test_run_all_respects_max_events(self):
-        env = EventLoop()
+    def test_run_all_respects_max_events(self, env):
         hits = []
         for when in (10, 20, 30):
             env.schedule_at(when, lambda w=when: hits.append(w))
         env.run_all(max_events=2)
         assert hits == [10, 20]
         assert env.pending_events == 1
+
+    def test_run_all_max_events_can_stop_mid_tie_and_resume(self, env):
+        hits = []
+        for index in range(5):
+            env.schedule_at(50, lambda i=index: hits.append(i))
+        env.run_all(max_events=2)
+        assert hits == [0, 1]
+        assert env.pending_events == 3
+        env.run_until(50)
+        assert hits == [0, 1, 2, 3, 4]
+        assert env.pending_events == 0
+
+    def test_schedule_many_interleaves_with_schedule_at_by_call_order(self, env):
+        order = []
+        env.schedule_at(5, lambda: order.append("a"))
+        env.schedule_many([(5, lambda: order.append("b")),
+                           (3, lambda: order.append("c"))])
+        env.schedule_at(5, lambda: order.append("d"))
+        env.run_until(10)
+        assert order == ["c", "a", "b", "d"]

@@ -1,0 +1,218 @@
+"""Unit coverage for the fast-path building blocks.
+
+Each optimization is admissible only if it is observationally identical
+to the reference implementation; these tests pin that equivalence at
+the component level (the golden-figure suite pins it end to end).
+"""
+
+import pytest
+
+from repro.core.config import NfServerBinding, PayloadParkConfig
+from repro.core.program import BaselineProgram, PayloadParkProgram
+from repro.nf.firewall import Firewall, FirewallRule
+from repro.packet.ipv4 import IPv4Address
+from repro.packet.pool import FramePool
+from repro.traffic.pktgen import (
+    PacketFactory,
+    PktGenConfig,
+    blacklisted_source,
+    build_udp_frame,
+)
+from repro.traffic.workload import Workload
+
+
+def _binding():
+    return NfServerBinding(
+        name="srv0", ingress_ports=(0, 1), nf_port=2, default_egress_port=0
+    )
+
+
+class TestFramePool:
+    def test_pooled_frame_is_byte_identical_to_reference(self):
+        pool = FramePool("02:00:00:00:00:01", "02:00:00:00:00:02")
+        flows = Workload.enterprise().flows.flows()
+        for flow in flows[:16]:
+            for size in (64, 342, 1514):
+                reference = build_udp_frame(
+                    size,
+                    flow,
+                    src_mac="02:00:00:00:00:01",
+                    dst_mac="02:00:00:00:00:02",
+                )
+                pooled = pool.frame(size, flow)
+                assert pooled.to_bytes() == reference.to_bytes()
+                assert pooled.wire_length == reference.wire_length
+                assert pooled.five_tuple() == reference.five_tuple()
+
+    def test_blacklist_override_matches_reference(self):
+        pool = FramePool("02:00:00:00:00:01", "02:00:00:00:00:02")
+        flow = Workload.enterprise().flows.flows()[0]
+        source = blacklisted_source(7)
+        reference = build_udp_frame(
+            500,
+            flow,
+            src_mac="02:00:00:00:00:01",
+            dst_mac="02:00:00:00:00:02",
+            src_ip=str(source),
+        )
+        pooled = pool.frame(500, flow, src_ip=source)
+        assert pooled.to_bytes() == reference.to_bytes()
+
+    def test_templates_are_reused_per_flow(self):
+        pool = FramePool("02:00:00:00:00:01", "02:00:00:00:00:02")
+        flow = Workload.enterprise().flows.flows()[0]
+        pool.frame(128, flow)
+        pool.frame(900, flow)
+        assert pool.templates_built == 1
+
+    def test_clones_are_independent(self):
+        pool = FramePool("02:00:00:00:00:01", "02:00:00:00:00:02")
+        flow = Workload.enterprise().flows.flows()[0]
+        first = pool.frame(400, flow)
+        second = pool.frame(400, flow)
+        assert first.packet_id != second.packet_id
+        first.ip.src = IPv4Address.from_string("1.2.3.4")
+        first.meta["touched"] = True
+        assert str(second.ip.src) != "1.2.3.4"
+        assert second.meta == {}
+
+    def test_pooled_factory_replays_reference_sequence(self):
+        workload = Workload.enterprise(blacklisted_fraction=0.2)
+        reference = PacketFactory(
+            PktGenConfig(rate_gbps=8.0, workload=workload, seed=11)
+        )
+        pooled = PacketFactory(
+            PktGenConfig(rate_gbps=8.0, workload=workload, seed=11, pooled=True)
+        )
+        for _ in range(256):
+            assert pooled.next_packet().to_bytes() == reference.next_packet().to_bytes()
+
+
+class TestDecisionCache:
+    def _program(self):
+        program = BaselineProgram([_binding()])
+        program.add_l2_entry("02:00:00:00:00:02", 0)
+        program.enable_fast_path()
+        return program
+
+    def test_cached_outcome_matches_live_walk(self):
+        from repro.packet.packet import Packet
+
+        program = self._program()
+        reference = BaselineProgram([_binding()])
+        reference.add_l2_entry("02:00:00:00:00:02", 0)
+        for port in (0, 1, 2, 0, 1, 2, 0):
+            packet = Packet.udp(total_size=200)
+            expected = reference.process(Packet.udp(total_size=200), port)
+            ctx = program.process(packet, port)
+            assert (ctx.egress_port, ctx.dropped) == (
+                expected.egress_port,
+                expected.dropped,
+            )
+        # Second round hits the cache; ASIC counters must keep advancing.
+        assert program.asic.processed_packets == reference.asic.processed_packets
+
+    def test_control_plane_update_invalidates_cache(self):
+        from repro.packet.packet import Packet
+
+        program = self._program()
+        ctx = program.process(Packet.udp(total_size=200), 2)
+        assert ctx.egress_port == 0
+        # New L2 entry steers the sink MAC to port 1; the memoized
+        # decision for port 2 must not survive the control-plane write.
+        program.add_l2_entry("02:00:00:00:00:02", 1)
+        ctx = program.process(Packet.udp(total_size=200), 2)
+        assert ctx.egress_port == 1
+
+    def test_payloadpark_is_not_decision_cacheable(self):
+        program = PayloadParkProgram(
+            PayloadParkConfig(sram_fraction=0.26), bindings=[_binding()]
+        )
+        program.enable_fast_path()
+        assert program.decision_cacheable is False
+        assert program._decision_cache == {}
+
+    def test_table_counters_match_between_modes(self):
+        from repro.packet.packet import Packet
+
+        fast = self._program()
+        slow = BaselineProgram([_binding()])
+        slow.add_l2_entry("02:00:00:00:00:02", 0)
+        for port in (0, 1, 2) * 5:
+            fast.process(Packet.udp(total_size=128), port)
+            slow.process(Packet.udp(total_size=128), port)
+
+        def counters(program):
+            return [
+                (table.name, table.hit_count, table.miss_count)
+                for pipe in program.asic.pipes
+                for stage in pipe.pipeline.stages
+                for table in stage.tables
+            ]
+
+        assert counters(fast) == counters(slow)
+
+
+class TestFirewallFastPath:
+    def _firewall(self):
+        return Firewall.with_rule_count(20)
+
+    def test_cached_verdicts_match_reference(self):
+        from repro.packet.packet import Packet
+
+        reference = self._firewall()
+        fast = self._firewall()
+        fast.enable_fast_path()
+        packets = [
+            Packet.udp(src_ip="10.0.0.9", total_size=200),
+            Packet.udp(src_ip="192.168.3.4", total_size=200),   # blacklisted
+            Packet.udp(src_ip="172.30.5.1", total_size=200),    # rule 5-ish
+            Packet.udp(src_ip="10.0.0.9", total_size=200),      # cache hit
+        ]
+        for packet in packets:
+            expected = reference.process(packet)
+            got = fast.process(packet)
+            assert (got.verdict, got.cycles, got.reason) == (
+                expected.verdict,
+                expected.cycles,
+                expected.reason,
+            )
+
+    def test_add_rule_invalidates_cache(self):
+        from repro.packet.packet import Packet
+
+        firewall = self._firewall()
+        firewall.enable_fast_path()
+        packet = Packet.udp(src_ip="10.9.9.9", total_size=128)
+        assert firewall.process(packet).forwarded
+        firewall.add_rule(FirewallRule.blacklist("10.9.9.9/32"))
+        assert not firewall.process(packet).forwarded
+
+
+class TestCompiledPipelineWalk:
+    def test_fast_walk_matches_stage_walk_for_payloadpark(self):
+        from repro.packet.packet import Packet
+
+        def run(fast):
+            program = PayloadParkProgram(
+                PayloadParkConfig(sram_fraction=0.26), bindings=[_binding()]
+            )
+            if fast:
+                program.enable_fast_path()
+            outcomes = []
+            for index in range(40):
+                packet = Packet.udp(total_size=800)
+                ctx = program.process(packet, index % 2)
+                outcomes.append(
+                    (ctx.egress_port, ctx.dropped, packet.wire_length,
+                     packet.pp.enb if packet.pp else None)
+                )
+            counters = [
+                (table.name, table.hit_count, table.miss_count)
+                for pipe in program.asic.pipes
+                for stage in pipe.pipeline.stages
+                for table in stage.tables
+            ]
+            return outcomes, counters
+
+        assert run(fast=True) == run(fast=False)
