@@ -1,0 +1,21 @@
+"""Domain error types shared across the package.
+
+This module is intentionally import-free so any layer (traffic
+primitives, workloads, experiments) can raise the shared types without
+creating import cycles.
+"""
+
+from __future__ import annotations
+
+
+class WorkloadSpecError(ValueError):
+    """An invalid workload/traffic specification.
+
+    Raised by every workload validator — size distributions (including
+    :meth:`~repro.traffic.distributions.EmpiricalDistribution.from_cdf`),
+    arrival models, flow models, schedules, generative/replay workload
+    specs and the workload registry — so callers can catch one domain
+    error type instead of mixed ``ValueError``/``AssertionError``.
+    Subclasses :class:`ValueError`, so pre-existing ``except ValueError``
+    handlers keep working.
+    """

@@ -107,6 +107,47 @@ def default_fast_path(enabled: bool):
         _FAST_PATH_OVERRIDE = previous
 
 
+#: Observer installed by :func:`run_observer` (None = no observer).
+_RUN_OBSERVER: Optional["RunObserver"] = None
+
+
+class RunObserver:
+    """Hook interface for watching deployment runs end to end.
+
+    The validation subsystem installs one via :func:`run_observer` to
+    attach invariant checking to *any* simulation run — experiments,
+    campaigns and the fuzzer all funnel through
+    :meth:`ExperimentRunner._execute`, which calls these hooks.
+    """
+
+    def on_run_start(self, scenario, deployment, topology, program) -> None:
+        """Called after the testbed is wired, before traffic starts."""
+
+    def on_run_end(self, scenario, deployment, topology, program, reports) -> None:
+        """Called after the horizon is reached and reports are built."""
+
+
+def current_run_observer() -> Optional[RunObserver]:
+    """The observer deployment runs report to, if any."""
+    return _RUN_OBSERVER
+
+
+@contextmanager
+def run_observer(observer: RunObserver):
+    """Attach *observer* to every deployment run inside the context.
+
+    Nested installations stack (the innermost wins), mirroring the other
+    ambient-override contexts in this module.
+    """
+    global _RUN_OBSERVER
+    previous = _RUN_OBSERVER
+    _RUN_OBSERVER = observer
+    try:
+        yield observer
+    finally:
+        _RUN_OBSERVER = previous
+
+
 #: Active time-scale override installed by :func:`default_time_scale`.
 _TIME_SCALE_OVERRIDE: Optional[float] = None
 
@@ -446,6 +487,9 @@ class ExperimentRunner:
         if warmup_ns >= duration_ns:
             raise ValueError("warmup must be shorter than the total duration")
 
+        observer = current_run_observer()
+        if observer is not None:
+            observer.on_run_start(scenario, deployment, topology, program)
         topology.start_traffic(duration_ns)
         topology.run_until(warmup_ns)
         warm_snapshot = topology.snapshot()
@@ -475,6 +519,8 @@ class ExperimentRunner:
                     warm_latency_counts[name],
                 )
             )
+        if observer is not None:
+            observer.on_run_end(scenario, deployment, topology, program, reports)
         return reports
 
     @staticmethod

@@ -34,13 +34,18 @@ Callback = Callable[[], None]
 class EventLoop:
     """Priority-queue based discrete-event scheduler (reference path)."""
 
-    __slots__ = ("_queue", "_sequence", "now", "events_executed")
+    __slots__ = ("_queue", "_sequence", "now", "events_executed", "monitor")
 
     def __init__(self) -> None:
         self._queue: List[Tuple[int, int, Callback]] = []
         self._sequence = itertools.count()
         self.now: int = 0
         self.events_executed = 0
+        #: Optional per-event observer ``monitor(when_ns)`` invoked as each
+        #: event's timestamp becomes current.  Installed by the validation
+        #: subsystem to assert event-time monotonicity; ``None`` (the
+        #: default) keeps the dispatch loops branch-cheap.
+        self.monitor: Optional[Callable[[int], None]] = None
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -88,12 +93,15 @@ class EventLoop:
         ``now`` never moves backwards: a horizon earlier than the current
         time executes nothing and leaves ``now`` unchanged.
         """
+        monitor = self.monitor
         while self._queue:
             when_ns, _seq, callback = self._queue[0]
             if when_ns > horizon_ns:
                 break
             heapq.heappop(self._queue)
             self.now = when_ns
+            if monitor is not None:
+                monitor(when_ns)
             callback()
             self.events_executed += 1
         # Leave ``now`` at the horizon so rate calculations use the full
@@ -104,11 +112,14 @@ class EventLoop:
     def run_all(self, max_events: Optional[int] = None) -> None:
         """Drain the queue completely (or up to *max_events* events)."""
         executed = 0
+        monitor = self.monitor
         while self._queue:
             if max_events is not None and executed >= max_events:
                 break
             when_ns, _seq, callback = heapq.heappop(self._queue)
             self.now = when_ns
+            if monitor is not None:
+                monitor(when_ns)
             callback()
             self.events_executed += 1
             executed += 1
@@ -148,6 +159,7 @@ class FastEventLoop(EventLoop):
     def __init__(self) -> None:
         self.now = 0
         self.events_executed = 0
+        self.monitor = None
         #: timestamp -> FIFO list of callbacks at that timestamp.
         self._buckets: Dict[int, List[Callback]] = {}
         #: heap of distinct timestamps present in ``_buckets``.
@@ -213,6 +225,7 @@ class FastEventLoop(EventLoop):
         times = self._times
         buckets = self._buckets
         pop = heapq.heappop
+        monitor = self.monitor
         # ``consumed`` counts events taken off the calendar, ``executed``
         # events whose callback completed; they differ only when a
         # callback raises, and keeping both mirrors the reference loop
@@ -234,6 +247,8 @@ class FastEventLoop(EventLoop):
                         # order the reference loop produces.
                         del buckets[when_ns]
                         self.now = when_ns
+                        if monitor is not None:
+                            monitor(when_ns)
                         consumed += 1
                         bucket[0]()
                         executed += 1
@@ -253,6 +268,8 @@ class FastEventLoop(EventLoop):
                     callback = bucket[index]
                     index += 1
                     self._active_index = index
+                    if monitor is not None:
+                        monitor(self._active_time)
                     consumed += 1
                     callback()
                     executed += 1
@@ -270,6 +287,7 @@ class FastEventLoop(EventLoop):
         times = self._times
         buckets = self._buckets
         pop = heapq.heappop
+        monitor = self.monitor
         remaining = float("inf") if max_events is None else max_events
         consumed = 0
         executed = 0
@@ -289,6 +307,8 @@ class FastEventLoop(EventLoop):
                     callback = bucket[index]
                     index += 1
                     self._active_index = index
+                    if monitor is not None:
+                        monitor(self._active_time)
                     consumed += 1
                     callback()
                     executed += 1

@@ -80,11 +80,25 @@ class Firewall(NetworkFunction):
         self._compiled_rules: Optional[list] = None
 
     def add_rule(self, rule: FirewallRule) -> None:
-        """Append an ACL entry."""
+        """Append an ACL entry (invalidates the fast-path structures)."""
         self.rules.append(rule)
+        self._invalidate()
+
+    def remove_rule(self, index: int) -> FirewallRule:
+        """Remove and return the ACL entry at *index* (control plane).
+
+        Like :meth:`add_rule`, drops the memoized verdicts and the
+        pre-masked rule list: both the verdicts themselves and their
+        cycle costs (probe counts) depend on the rule list.
+        """
+        rule = self.rules.pop(index)
+        self._invalidate()
+        return rule
+
+    def _invalidate(self) -> None:
         if self._verdict_cache is not None:
             self._verdict_cache.clear()
-            self._compiled_rules = None
+        self._compiled_rules = None
 
     def enable_fast_path(self, enabled: bool = True) -> None:
         """Memoize verdicts per (src address, dst port).

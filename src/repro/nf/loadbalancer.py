@@ -92,6 +92,43 @@ class MaglevLoadBalancer(NetworkFunction):
         self._backend_cache = {} if enabled else None
 
     # ------------------------------------------------------------------ #
+    # Backend churn (control plane)
+    # ------------------------------------------------------------------ #
+
+    def set_backends(self, backends: Sequence[Backend]) -> None:
+        """Replace the backend pool and rebuild the Maglev table.
+
+        Backend churn is the whole point of Maglev (most flows keep
+        their backend when the pool changes), but every cached per-flow
+        choice is stale the moment the table is repopulated, so the
+        fast-path memo is dropped — keeping it would silently pin flows
+        to removed backends.
+        """
+        if not backends:
+            raise ValueError("the load balancer needs at least one backend")
+        self.backends = list(backends)
+        self.lookup_table = self._populate()
+        for backend in self.backends:
+            self.assignments.setdefault(backend.name, 0)
+        if self._backend_cache is not None:
+            self._backend_cache.clear()
+
+    def add_backend(self, backend: Backend) -> None:
+        """Add one backend to the pool (table rebuild + cache invalidation)."""
+        if any(existing.name == backend.name for existing in self.backends):
+            raise ValueError(f"backend {backend.name!r} already exists")
+        self.set_backends(self.backends + [backend])
+
+    def remove_backend(self, name: str) -> Backend:
+        """Drain one backend out of the pool (table rebuild + cache invalidation)."""
+        for index, backend in enumerate(self.backends):
+            if backend.name == name:
+                remaining = self.backends[:index] + self.backends[index + 1:]
+                self.set_backends(remaining)
+                return backend
+        raise ValueError(f"no backend named {name!r}")
+
+    # ------------------------------------------------------------------ #
     # Maglev table population
     # ------------------------------------------------------------------ #
 

@@ -20,6 +20,7 @@ import dataclasses
 import multiprocessing
 import time
 import traceback
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -75,15 +76,38 @@ def execute_run(run: RunSpec) -> Dict[str, Any]:
         "time_scale": run.time_scale,
         "status": "ok",
     }
+    observer = None
     try:
         scenario = build_scenario(run)
         record["seed"] = scenario.seed
         runner = ExperimentRunner(time_scale=run.time_scale)
-        if run.mode == "compare":
-            result = runner.compare(scenario)
-            record["metrics"] = flatten_comparison(result.comparison)
+        if run.options.get("validate"):
+            # Inline invariant checking (the campaign `validate: true`
+            # hook): every deployment run of this grid point executes
+            # under the validation observer.  Imported lazily — the
+            # validation package layers on top of the orchestrator.
+            from repro.experiments.runner import run_observer
+            from repro.validation.engine import ValidationObserver
+
+            observer = ValidationObserver()
+            context = run_observer(observer)
         else:
-            record["metrics"] = _execute_peak(runner, scenario, run.options)
+            context = nullcontext()
+        with context:
+            if run.mode == "compare":
+                result = runner.compare(scenario)
+                record["metrics"] = flatten_comparison(result.comparison)
+            else:
+                record["metrics"] = _execute_peak(runner, scenario, run.options)
+        if observer is not None:
+            record["violations"] = [v.as_dict() for v in observer.violations]
+            record["runs_validated"] = observer.runs_checked
+            if observer.violations:
+                record["status"] = "violation"
+                record["error"] = (
+                    f"{len(observer.violations)} invariant violation(s); "
+                    f"first: {observer.violations[0]}"
+                )
     except Exception as exc:  # noqa: BLE001 - worker must not crash the pool
         record["status"] = "error"
         record["error"] = f"{type(exc).__name__}: {exc}"

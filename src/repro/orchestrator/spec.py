@@ -185,6 +185,10 @@ class CampaignSpec:
         Mode-specific knobs (peak mode: ``deployment``,
         ``rate_bounds_gbps``, ``tolerance_gbps``,
         ``require_zero_premature_evictions``).
+    validate:
+        When true, every grid point runs with the invariant engine
+        attached (:mod:`repro.validation`): violations are recorded on
+        the run's result record and the point is reported as failed.
     seed_policy:
         ``"fixed"`` leaves seeds to ``base``/scenario defaults;
         ``"per-run"`` derives a deterministic seed from each grid point.
@@ -199,6 +203,7 @@ class CampaignSpec:
     time_scale: float = 1.0
     seed_policy: str = "fixed"
     description: str = ""
+    validate: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -230,6 +235,9 @@ class CampaignSpec:
         """Materialize the grid into concrete, ordered run descriptors."""
         axes = sorted(self.grid)
         runs: List[RunSpec] = []
+        options = dict(self.options)
+        if self.validate:
+            options.setdefault("validate", True)
         for point in itertools.product(*(self.grid[axis] for axis in axes)):
             params = dict(self.base)
             params.update(dict(zip(axes, point)))
@@ -240,7 +248,7 @@ class CampaignSpec:
                     scenario=self.scenario,
                     mode=self.mode,
                     params=params,
-                    options=dict(self.options),
+                    options=options,
                     time_scale=self.time_scale,
                 )
             )
@@ -266,6 +274,7 @@ class CampaignSpec:
             "time_scale": self.time_scale,
             "seed_policy": self.seed_policy,
             "description": self.description,
+            "validate": self.validate,
         }
 
     @classmethod
@@ -273,7 +282,7 @@ class CampaignSpec:
         """Build a campaign from a parsed YAML/JSON mapping."""
         known = {
             "name", "scenario", "mode", "base", "grid", "options",
-            "time_scale", "seed_policy", "description",
+            "time_scale", "seed_policy", "description", "validate",
         }
         unknown = set(data) - known
         if unknown:
@@ -291,6 +300,7 @@ class CampaignSpec:
             time_scale=float(data.get("time_scale", 1.0)),
             seed_policy=data.get("seed_policy", "fixed"),
             description=data.get("description", ""),
+            validate=bool(data.get("validate", False)),
         )
 
     @classmethod

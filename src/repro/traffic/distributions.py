@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
+from repro.errors import WorkloadSpecError
 from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES
 
 #: Smallest Ethernet frame we generate (headers only would be 42 bytes,
@@ -47,7 +48,7 @@ class FixedSizeDistribution(PacketSizeDistribution):
 
     def __post_init__(self) -> None:
         if not MIN_FRAME_BYTES <= self.size <= MAX_FRAME_BYTES:
-            raise ValueError(
+            raise WorkloadSpecError(
                 f"frame size must be within [{MIN_FRAME_BYTES}, {MAX_FRAME_BYTES}], "
                 f"got {self.size}"
             )
@@ -67,23 +68,23 @@ class EmpiricalDistribution(PacketSizeDistribution):
 
     def __init__(self, points: Sequence[Tuple[int, float]]) -> None:
         if not points:
-            raise ValueError("an empirical distribution needs at least one point")
+            raise WorkloadSpecError("an empirical distribution needs at least one point")
         for _size, weight in points:
             if weight < 0:
-                raise ValueError("probabilities cannot be negative")
+                raise WorkloadSpecError("probabilities cannot be negative")
             if not math.isfinite(weight):
-                raise ValueError(f"probability {weight!r} is not finite")
+                raise WorkloadSpecError(f"probability {weight!r} is not finite")
         total = sum(weight for _size, weight in points)
         if total <= 0:
-            raise ValueError("probabilities must sum to a positive value")
+            raise WorkloadSpecError("probabilities must sum to a positive value")
         self._sizes: List[int] = []
         self._cumulative: List[float] = []
         running = 0.0
         for size, weight in sorted(points):
             if not MIN_FRAME_BYTES <= size <= MAX_FRAME_BYTES:
-                raise ValueError(f"size {size} outside [{MIN_FRAME_BYTES}, {MAX_FRAME_BYTES}]")
+                raise WorkloadSpecError(f"size {size} outside [{MIN_FRAME_BYTES}, {MAX_FRAME_BYTES}]")
             if self._sizes and size == self._sizes[-1]:
-                raise ValueError(f"duplicate size {size}; merge its probability mass first")
+                raise WorkloadSpecError(f"duplicate size {size}; merge its probability mass first")
             running += weight / total
             self._sizes.append(size)
             self._cumulative.append(running)
@@ -100,29 +101,29 @@ class EmpiricalDistribution(PacketSizeDistribution):
         instead.
         """
         if not points:
-            raise ValueError("a CDF needs at least one point")
+            raise WorkloadSpecError("a CDF needs at least one point")
         previous_size = None
         previous_cumulative = 0.0
         for size, cumulative in points:
             if not isinstance(cumulative, (int, float)) or not math.isfinite(cumulative):
-                raise ValueError(f"CDF value {cumulative!r} is not a finite number")
+                raise WorkloadSpecError(f"CDF value {cumulative!r} is not a finite number")
             if previous_size is not None and size <= previous_size:
-                raise ValueError(
+                raise WorkloadSpecError(
                     f"CDF sizes must be strictly increasing (got {size} after {previous_size})"
                 )
             if not 0.0 < cumulative <= 1.0:
-                raise ValueError(f"CDF value {cumulative} outside (0, 1]")
+                raise WorkloadSpecError(f"CDF value {cumulative} outside (0, 1]")
             if cumulative <= previous_cumulative:
-                raise ValueError(
+                raise WorkloadSpecError(
                     "CDF values must be strictly increasing "
                     f"(got {cumulative} after {previous_cumulative})"
                 )
             if not MIN_FRAME_BYTES <= size <= MAX_FRAME_BYTES:
-                raise ValueError(f"size {size} outside [{MIN_FRAME_BYTES}, {MAX_FRAME_BYTES}]")
+                raise WorkloadSpecError(f"size {size} outside [{MIN_FRAME_BYTES}, {MAX_FRAME_BYTES}]")
             previous_size = size
             previous_cumulative = cumulative
         if abs(points[-1][1] - 1.0) > 1e-9:
-            raise ValueError(f"CDF must end at 1.0, got {points[-1][1]}")
+            raise WorkloadSpecError(f"CDF must end at 1.0, got {points[-1][1]}")
         weights: List[Tuple[int, float]] = []
         previous_cumulative = 0.0
         for size, cumulative in points:
@@ -185,9 +186,9 @@ class ParetoSizeDistribution(PacketSizeDistribution):
 
     def __init__(self, shape: float = 1.3, scale: float = 120.0) -> None:
         if shape <= 0:
-            raise ValueError("shape must be positive")
+            raise WorkloadSpecError("shape must be positive")
         if scale <= 0:
-            raise ValueError("scale must be positive")
+            raise WorkloadSpecError("scale must be positive")
         self.shape = shape
         self.scale = scale
         self._mean: float = None  # type: ignore[assignment]
@@ -215,7 +216,7 @@ class LognormalSizeDistribution(PacketSizeDistribution):
 
     def __init__(self, mu: float = 6.0, sigma: float = 0.8) -> None:
         if sigma <= 0:
-            raise ValueError("sigma must be positive")
+            raise WorkloadSpecError("sigma must be positive")
         self.mu = mu
         self.sigma = sigma
         self._mean: float = None  # type: ignore[assignment]

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.errors import WorkloadSpecError
 from repro.packet.ipv4 import IPv4Address
 from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES, Packet
 from repro.packet.pool import FramePool
@@ -97,9 +98,9 @@ class PktGenConfig:
 
     def __post_init__(self) -> None:
         if self.rate_gbps <= 0:
-            raise ValueError("rate_gbps must be positive")
+            raise WorkloadSpecError("rate_gbps must be positive")
         if self.burst_size <= 0:
-            raise ValueError("burst_size must be positive")
+            raise WorkloadSpecError("burst_size must be positive")
 
 
 class PacketFactory:

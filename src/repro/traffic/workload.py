@@ -15,6 +15,7 @@ from typing import Optional, Union
 
 from repro.packet.flows import FlowGenerator
 from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES, Packet
+from repro.errors import WorkloadSpecError
 from repro.packet.pcap import PcapWriter, read_pcap
 from repro.traffic.distributions import (
     EmpiricalDistribution,
@@ -52,7 +53,7 @@ class Workload:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.blacklisted_fraction <= 1.0:
-            raise ValueError("blacklisted_fraction must lie in [0, 1]")
+            raise WorkloadSpecError("blacklisted_fraction must lie in [0, 1]")
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -86,7 +87,7 @@ class Workload:
         """Build a workload whose size distribution matches a PCAP capture."""
         records = read_pcap(path)
         if not records:
-            raise ValueError(f"PCAP {path} contains no packets")
+            raise WorkloadSpecError(f"PCAP {path} contains no packets")
         counts = {}
         for record in records:
             size = max(len(record.data), 64)

@@ -1,0 +1,107 @@
+"""Validation subsystem: invariants, metamorphic relations, fuzzing.
+
+Three layers, each usable on its own:
+
+* the **invariant engine** (:mod:`~repro.validation.invariants`,
+  :mod:`~repro.validation.engine`) attaches machine-checked correctness
+  conditions — packet conservation, goodput bounds, latency causality,
+  register bounds, parking-slot leak detection — to any simulation run
+  via the experiment runner's observer hook;
+* the **metamorphic layer** (:mod:`~repro.validation.metamorphic`)
+  checks relations across paired runs: fast-vs-slow-path equality at
+  arbitrary operating points, seed determinism, time-scale invariance
+  and workload-rate monotonicity;
+* the **differential fuzzer** (:mod:`~repro.validation.fuzzer`,
+  :mod:`~repro.validation.corpus`) generates seeded random scenarios
+  from the campaign registries, checks them, shrinks failures to
+  minimal repros and persists them in a replayable corpus.
+
+CLI: ``repro validate run|fuzz|replay``.  Campaigns opt in with
+``validate: true`` in their spec file.
+"""
+
+from repro.validation.corpus import (
+    DEFAULT_CORPUS_DIR,
+    corpus_entries,
+    load_entry,
+    replay_corpus,
+    replay_entry,
+    run_spec_from_entry,
+    write_entry,
+)
+from repro.validation.engine import (
+    ValidationObserver,
+    ValidationReport,
+    check_scenario,
+)
+from repro.validation.fuzzer import (
+    FuzzFailure,
+    FuzzResult,
+    check_run,
+    descriptor_size,
+    fuzz,
+    generate_run,
+    parse_budget,
+    shrink,
+)
+from repro.validation.invariants import (
+    DEFAULT_INVARIANTS,
+    GoodputBound,
+    Invariant,
+    LatencyCausality,
+    PacketConservation,
+    ParkingSlotLeak,
+    RegisterBounds,
+    RunObservation,
+    Violation,
+)
+from repro.validation.metamorphic import (
+    DEFAULT_RELATION_NAMES,
+    RELATION_REGISTRY,
+    FastSlowEquivalence,
+    MetamorphicRelation,
+    RateMonotonicity,
+    SeedDeterminism,
+    TimeScaleInvariance,
+    build_relations,
+    comparison_metrics,
+)
+
+__all__ = [
+    "DEFAULT_CORPUS_DIR",
+    "DEFAULT_INVARIANTS",
+    "DEFAULT_RELATION_NAMES",
+    "FastSlowEquivalence",
+    "FuzzFailure",
+    "FuzzResult",
+    "GoodputBound",
+    "Invariant",
+    "LatencyCausality",
+    "MetamorphicRelation",
+    "PacketConservation",
+    "ParkingSlotLeak",
+    "RELATION_REGISTRY",
+    "RateMonotonicity",
+    "RegisterBounds",
+    "RunObservation",
+    "SeedDeterminism",
+    "TimeScaleInvariance",
+    "ValidationObserver",
+    "ValidationReport",
+    "Violation",
+    "build_relations",
+    "check_run",
+    "check_scenario",
+    "comparison_metrics",
+    "corpus_entries",
+    "descriptor_size",
+    "fuzz",
+    "generate_run",
+    "load_entry",
+    "parse_budget",
+    "replay_corpus",
+    "replay_entry",
+    "run_spec_from_entry",
+    "shrink",
+    "write_entry",
+]

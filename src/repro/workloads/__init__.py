@@ -7,6 +7,7 @@ schedules into named workloads that the simulator, the campaign
 orchestrator and the ``repro workload`` CLI all consume.
 """
 
+from repro.errors import WorkloadSpecError
 from repro.workloads.arrivals import (
     ArrivalModel,
     IncastArrivals,
@@ -57,6 +58,7 @@ __all__ = [
     "UniformArrivals",
     "WORKLOAD_REGISTRY",
     "WorkloadSpec",
+    "WorkloadSpecError",
     "WorkloadSummary",
     "derived_rng",
     "get_workload",

@@ -25,6 +25,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.errors import WorkloadSpecError
+
 
 class ArrivalSampler:
     """Stateful gap generator bound to one RNG (one per traffic source)."""
@@ -162,16 +164,16 @@ class MMPPArrivals(ArrivalModel):
 
     def __post_init__(self) -> None:
         if not 0.0 < self.on_fraction < 1.0:
-            raise ValueError("on_fraction must lie in (0, 1)")
+            raise WorkloadSpecError("on_fraction must lie in (0, 1)")
         if self.burst_factor < 1.0:
-            raise ValueError("burst_factor must be >= 1")
+            raise WorkloadSpecError("burst_factor must be >= 1")
         if self.on_fraction * self.burst_factor > 1.0:
-            raise ValueError(
+            raise WorkloadSpecError(
                 "on_fraction * burst_factor must be <= 1 so the OFF-state "
                 "rate stays non-negative"
             )
         if self.mean_residence_events < 1:
-            raise ValueError("mean_residence_events must be >= 1")
+            raise WorkloadSpecError("mean_residence_events must be >= 1")
 
     def sampler(self, rng: random.Random) -> ArrivalSampler:
         return _MMPPSampler(self, rng)
@@ -218,9 +220,9 @@ class IncastArrivals(ArrivalModel):
 
     def __post_init__(self) -> None:
         if self.fan_in < 2:
-            raise ValueError("fan_in must be >= 2")
+            raise WorkloadSpecError("fan_in must be >= 2")
         if not 0.0 < self.duty < 1.0:
-            raise ValueError("duty must lie in (0, 1)")
+            raise WorkloadSpecError("duty must lie in (0, 1)")
 
     def sampler(self, rng: random.Random) -> ArrivalSampler:
         return _IncastSampler(self)

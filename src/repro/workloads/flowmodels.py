@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.errors import WorkloadSpecError
 from repro.packet.flows import FiveTuple, FlowGenerator
 from repro.packet.ipv4 import PROTO_UDP, IPv4Address
 
@@ -66,7 +67,7 @@ class RoundRobinFlows(FlowModel):
 
     def __post_init__(self) -> None:
         if self.flow_count <= 0:
-            raise ValueError("flow_count must be positive")
+            raise WorkloadSpecError("flow_count must be positive")
 
     def sampler(self, rng: random.Random) -> FlowSampler:
         return _RoundRobinSampler(FlowGenerator(flow_count=self.flow_count).flows())
@@ -108,11 +109,11 @@ class HeavyTailFlows(FlowModel):
 
     def __post_init__(self) -> None:
         if self.flow_count <= 0:
-            raise ValueError("flow_count must be positive")
+            raise WorkloadSpecError("flow_count must be positive")
         if not 0.0 < self.elephant_fraction < 1.0:
-            raise ValueError("elephant_fraction must lie in (0, 1)")
+            raise WorkloadSpecError("elephant_fraction must lie in (0, 1)")
         if not 0.0 < self.elephant_weight < 1.0:
-            raise ValueError("elephant_weight must lie in (0, 1)")
+            raise WorkloadSpecError("elephant_weight must lie in (0, 1)")
 
     def sampler(self, rng: random.Random) -> FlowSampler:
         return _HeavyTailSampler(self, rng)
@@ -180,7 +181,7 @@ class ChurnFlows(FlowModel):
 
     def __post_init__(self) -> None:
         if self.packets_per_flow < 1:
-            raise ValueError("packets_per_flow must be >= 1")
+            raise WorkloadSpecError("packets_per_flow must be >= 1")
 
     def sampler(self, rng: random.Random) -> FlowSampler:
         return _ChurnSampler(self, rng)

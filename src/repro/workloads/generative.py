@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.errors import WorkloadSpecError
 from repro.packet.packet import Packet
 from repro.packet.pool import FramePool
 from repro.traffic.distributions import PacketSizeDistribution
@@ -116,11 +117,11 @@ class GenerativeWorkload(WorkloadSpec):
 
     def __post_init__(self) -> None:
         if self.sizes is None:
-            raise ValueError("a generative workload needs a size distribution")
+            raise WorkloadSpecError("a generative workload needs a size distribution")
         if self.rate_gbps <= 0:
-            raise ValueError("rate_gbps must be positive")
+            raise WorkloadSpecError("rate_gbps must be positive")
         if not 0.0 <= self.blacklisted_fraction <= 1.0:
-            raise ValueError("blacklisted_fraction must lie in [0, 1]")
+            raise WorkloadSpecError("blacklisted_fraction must lie in [0, 1]")
 
     # ------------------------------------------------------------------ #
     # WorkloadSpec interface
@@ -181,7 +182,7 @@ class GenerativeWorkload(WorkloadSpec):
     ) -> List[TracedPacket]:
         """First *max_packets* packets at per-packet pacing granularity."""
         if max_packets <= 0:
-            raise ValueError("max_packets must be positive")
+            raise WorkloadSpecError("max_packets must be positive")
         schedule = self.schedule
         if schedule is not None and rate_gbps is not None:
             schedule = schedule.with_mean(rate_gbps)

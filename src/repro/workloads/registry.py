@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.errors import WorkloadSpecError
 from repro.traffic.distributions import (
     EmpiricalDistribution,
     FixedSizeDistribution,
@@ -35,7 +36,7 @@ WORKLOAD_REGISTRY: Dict[str, Callable[[], WorkloadSpec]] = {}
 def register_workload(name: str, builder: Callable[[], WorkloadSpec]) -> None:
     """Add *builder* under *name*; duplicate names are an error."""
     if name in WORKLOAD_REGISTRY:
-        raise ValueError(f"workload {name!r} is already registered")
+        raise WorkloadSpecError(f"workload {name!r} is already registered")
     WORKLOAD_REGISTRY[name] = builder
 
 
@@ -48,7 +49,7 @@ def get_workload(name: str) -> WorkloadSpec:
     """Build a fresh spec for *name* (``ValueError`` on unknown names)."""
     builder = WORKLOAD_REGISTRY.get(name)
     if builder is None:
-        raise ValueError(
+        raise WorkloadSpecError(
             f"unknown workload {name!r}; expected one of {workload_names()}"
         )
     return builder()

@@ -21,6 +21,7 @@ import random
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
+from repro.errors import WorkloadSpecError
 from repro.packet.flows import FlowGenerator
 from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES, Packet
 from repro.packet.pcap import PcapRecord, read_pcap
@@ -38,7 +39,7 @@ def synthetic_enterprise_capture(
 ) -> List[PcapRecord]:
     """A deterministic in-memory capture with the enterprise size mix."""
     if packet_count <= 0:
-        raise ValueError("packet_count must be positive")
+        raise WorkloadSpecError("packet_count must be positive")
     rng = random.Random(seed)
     sizes = enterprise_datacenter_distribution()
     flows = FlowGenerator(flow_count=flow_count).flows()
@@ -74,9 +75,9 @@ class PcapReplayWorkload(WorkloadSpec):
         speedup: float = 1.0,
     ) -> None:
         if not records:
-            raise ValueError("a replay workload needs at least one captured frame")
+            raise WorkloadSpecError("a replay workload needs at least one captured frame")
         if speedup <= 0:
-            raise ValueError("speedup must be positive")
+            raise WorkloadSpecError("speedup must be positive")
         self.records = records
         self.name = name
         self.description = description or f"replay of {len(records)} captured frames"
@@ -97,7 +98,7 @@ class PcapReplayWorkload(WorkloadSpec):
         """Load a capture from disk (classic pcap, either byte order)."""
         records = read_pcap(path)
         if not records:
-            raise ValueError(f"PCAP {path} contains no packets")
+            raise WorkloadSpecError(f"PCAP {path} contains no packets")
         return cls(
             records,
             name=name or f"pcap:{Path(path).name}",
@@ -208,7 +209,7 @@ class PcapReplayWorkload(WorkloadSpec):
     ) -> List[TracedPacket]:
         """The first *max_packets* replayed frames (looping if needed)."""
         if max_packets <= 0:
-            raise ValueError("max_packets must be positive")
+            raise WorkloadSpecError("max_packets must be positive")
         speedup = self.speedup
         if rate_gbps is not None:
             speedup = rate_gbps / self.native_rate_gbps()

@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.errors import WorkloadSpecError
+
 
 @dataclass(frozen=True)
 class RatePhase:
@@ -33,11 +35,11 @@ class RatePhase:
 
     def __post_init__(self) -> None:
         if self.duration_ns <= 0:
-            raise ValueError("phase duration_ns must be positive")
+            raise WorkloadSpecError("phase duration_ns must be positive")
         if self.start_gbps < 0 or self.end_gbps < 0:
-            raise ValueError("phase rates cannot be negative")
+            raise WorkloadSpecError("phase rates cannot be negative")
         if not (math.isfinite(self.start_gbps) and math.isfinite(self.end_gbps)):
-            raise ValueError("phase rates must be finite")
+            raise WorkloadSpecError("phase rates must be finite")
 
     def rate_at(self, offset_ns: int) -> float:
         """Rate at *offset_ns* from the start of this phase."""
@@ -65,7 +67,7 @@ class TraceSchedule:
 
     def __init__(self, phases: Sequence[RatePhase], repeat: bool = False) -> None:
         if not phases:
-            raise ValueError("a schedule needs at least one phase")
+            raise WorkloadSpecError("a schedule needs at least one phase")
         self.phases: Tuple[RatePhase, ...] = tuple(phases)
         self.repeat = repeat
         boundaries: List[int] = []
@@ -76,7 +78,7 @@ class TraceSchedule:
         self._boundaries = boundaries
         self.total_duration_ns = elapsed
         if all(phase.mean_gbps() == 0 for phase in self.phases):
-            raise ValueError("a schedule cannot be silent in every phase")
+            raise WorkloadSpecError("a schedule cannot be silent in every phase")
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -146,7 +148,7 @@ class TraceSchedule:
     def scaled(self, factor: float) -> "TraceSchedule":
         """A copy with every rate multiplied by *factor* (shape preserved)."""
         if factor <= 0:
-            raise ValueError("scale factor must be positive")
+            raise WorkloadSpecError("scale factor must be positive")
         return TraceSchedule(
             [
                 RatePhase(
@@ -163,7 +165,7 @@ class TraceSchedule:
         """A copy rescaled so the time-averaged rate equals *mean_gbps*."""
         current = self.mean_gbps()
         if current <= 0:
-            raise ValueError("cannot rescale an all-silent schedule")
+            raise WorkloadSpecError("cannot rescale an all-silent schedule")
         return self.scaled(mean_gbps / current)
 
     def describe(self) -> List[str]:
@@ -218,14 +220,14 @@ class TraceSchedule:
     ) -> "TraceSchedule":
         """A repeating sinusoid-like day/night cycle discretized into ramps."""
         if segments < 2:
-            raise ValueError("diurnal schedules need at least 2 segments")
+            raise WorkloadSpecError("diurnal schedules need at least 2 segments")
         if low_gbps > high_gbps:
-            raise ValueError("low_gbps must not exceed high_gbps")
+            raise WorkloadSpecError("low_gbps must not exceed high_gbps")
         mid = (low_gbps + high_gbps) / 2.0
         amplitude = (high_gbps - low_gbps) / 2.0
         span = period_ns // segments
         if span <= 0:
-            raise ValueError("period_ns too short for the segment count")
+            raise WorkloadSpecError("period_ns too short for the segment count")
         phases = []
         for index in range(segments):
             theta0 = 2.0 * math.pi * index / segments

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence
 
+from repro.errors import WorkloadSpecError
 from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES
 
 #: Frames whose payload is below the paper's 160-byte minimum split
@@ -84,7 +85,7 @@ def summarize(trace: Sequence[TracedPacket], buckets: int = 50) -> WorkloadSumma
     across *buckets* equal time bins (sensitive to ramps and incast).
     """
     if not trace:
-        raise ValueError("cannot summarize an empty trace")
+        raise WorkloadSpecError("cannot summarize an empty trace")
     total_bytes = sum(packet.size_bytes for packet in trace)
     duration_ns = max(trace[-1].time_ns - trace[0].time_ns, 1)
     gaps = [

@@ -6,9 +6,12 @@ from hypothesis import strategies as st
 from repro.packet.checksum import internet_checksum, verify_internet_checksum
 from repro.packet.crc import crc16, crc32
 from repro.packet.ethernet import EthernetHeader, MacAddress
-from repro.packet.ipv4 import IPv4Address, IPv4Header
+from repro.packet.flows import FiveTuple
+from repro.packet.ipv4 import PROTO_UDP, IPv4Address, IPv4Header
 from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES, Packet
+from repro.packet.pool import FramePool
 from repro.packet.udp import UdpHeader
+from repro.traffic.pktgen import blacklisted_source, build_udp_frame
 
 ip_strings = st.builds(
     lambda a, b, c, d: f"{a}.{b}.{c}.{d}",
@@ -97,3 +100,78 @@ class TestPacketProperties:
         assert packet.wire_length == size - parked_bytes
         packet.restore_leading_payload(parked)
         assert packet.to_bytes() == original
+
+
+flows = st.builds(
+    lambda src, dst, sport, dport: FiveTuple(
+        src_ip=IPv4Address(src),
+        dst_ip=IPv4Address(dst),
+        protocol=PROTO_UDP,
+        src_port=sport,
+        dst_port=dport,
+    ),
+    st.integers(min_value=1, max_value=0xFFFFFFFE),
+    st.integers(min_value=1, max_value=0xFFFFFFFE),
+    ports,
+    ports,
+)
+
+SRC_MAC = "02:00:00:00:00:01"
+DST_MAC = "02:00:00:00:00:02"
+
+
+class TestFramePoolProperties:
+    """Pooled (template-cloned) frames must be indistinguishable from
+    reference-built frames — including after arbitrary header mutations,
+    which must never leak back into the shared per-flow template."""
+
+    @settings(max_examples=60)
+    @given(flows, st.lists(frame_sizes, min_size=1, max_size=6))
+    def test_pooled_frames_match_reference_builder(self, flow, sizes):
+        pool = FramePool(SRC_MAC, DST_MAC)
+        for size in sizes:
+            pooled = pool.frame(size, flow)
+            reference = build_udp_frame(size, flow, src_mac=SRC_MAC, dst_mac=DST_MAC)
+            assert pooled.to_bytes() == reference.to_bytes()
+
+    @settings(max_examples=60)
+    @given(flows, st.integers(min_value=0, max_value=64_999), frame_sizes)
+    def test_blacklist_override_matches_reference_builder(self, flow, index, size):
+        pool = FramePool(SRC_MAC, DST_MAC)
+        src = blacklisted_source(index)
+        pooled = pool.frame(size, flow, src_ip=src)
+        reference = build_udp_frame(
+            size, flow, src_mac=SRC_MAC, dst_mac=DST_MAC, src_ip=str(src)
+        )
+        assert pooled.to_bytes() == reference.to_bytes()
+
+    @settings(max_examples=60)
+    @given(
+        flows,
+        frame_sizes,
+        frame_sizes,
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=(1 << 48) - 1),
+        ports,
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_header_mutations_do_not_corrupt_the_template(
+        self, flow, first_size, second_size, new_dst_ip, new_dst_mac, new_port, ttl
+    ):
+        # Mutate every header layer of a pooled frame the way NFs do
+        # (NAT rewrites, MAC swaps, TTL updates, payload parking)...
+        pool = FramePool(SRC_MAC, DST_MAC)
+        mutated = pool.frame(first_size, flow)
+        mutated.ip.dst = IPv4Address(new_dst_ip)
+        mutated.ip.ttl = ttl
+        mutated.eth.dst = MacAddress(new_dst_mac)
+        mutated.l4.dst_port = new_port
+        if mutated.payload_length:
+            mutated.park_leading_payload(mutated.payload_length)
+        # ...then the next frame cloned from the same flow template must
+        # still be byte-identical to the reference builder's output.
+        fresh = pool.frame(second_size, flow)
+        reference = build_udp_frame(
+            second_size, flow, src_mac=SRC_MAC, dst_mac=DST_MAC
+        )
+        assert fresh.to_bytes() == reference.to_bytes()

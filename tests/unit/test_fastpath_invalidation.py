@@ -1,0 +1,204 @@
+"""Control-plane invalidation of the fast-path caches.
+
+The fast path memoizes aggressively — whole-pipe decisions keyed by
+(ingress port, dst MAC), firewall verdicts keyed by (src, dst port),
+Maglev backend choices keyed by flow.  Every control-plane mutation that
+changes forwarding behaviour must evict the corresponding cache, or the
+dataplane silently keeps replaying a stale world.  These tests mutate
+each control surface and assert both the eviction and the behaviour
+change it must produce.
+"""
+
+import pytest
+
+from repro.core.program import BaselineProgram
+from repro.experiments.runner import default_binding
+from repro.nf.firewall import Firewall, FirewallRule
+from repro.nf.loadbalancer import Backend, MaglevLoadBalancer
+from repro.packet.flows import FiveTuple
+from repro.packet.ipv4 import PROTO_UDP, IPv4Address
+from repro.packet.packet import Packet
+from repro.switchsim.mat import MatchActionTable
+
+
+def _baseline_program():
+    program = BaselineProgram([default_binding()])
+    program.enable_fast_path()
+    return program
+
+
+class TestDecisionCacheInvalidation:
+    def test_l2_entry_install_evicts_whole_pipe_decisions(self):
+        program = _baseline_program()
+        binding = program.bindings[0]
+        packet = Packet.udp(dst_mac="02:aa:00:00:00:07")
+
+        ctx = program.process(packet, binding.nf_port)
+        assert ctx.egress_port == binding.default_egress_port
+        assert program._decision_cache  # the walk was memoized
+
+        # Replays hit the cache (no new recording).
+        cached_before = dict(program._decision_cache)
+        ctx = program.process(Packet.udp(dst_mac="02:aa:00:00:00:07"), binding.nf_port)
+        assert ctx.egress_port == binding.default_egress_port
+        assert program._decision_cache == cached_before
+
+        # Installing an L2 route for that MAC must evict the cache and
+        # change the egress decision on the very next packet.
+        program.add_l2_entry("02:aa:00:00:00:07", binding.ingress_ports[1])
+        assert not program._decision_cache
+        ctx = program.process(Packet.udp(dst_mac="02:aa:00:00:00:07"), binding.nf_port)
+        assert ctx.egress_port == binding.ingress_ports[1]
+
+    def test_invalidate_fast_path_clears_the_cache(self):
+        program = _baseline_program()
+        binding = program.bindings[0]
+        program.process(Packet.udp(), binding.ingress_ports[0])
+        assert program._decision_cache
+        program.invalidate_fast_path()
+        assert not program._decision_cache
+
+    def test_pipeline_version_bump_makes_cached_decisions_stale(self):
+        program = _baseline_program()
+        binding = program.bindings[0]
+        pipe = program.asic.pipe_for_port(binding.nf_port)
+
+        program.process(Packet.udp(), binding.ingress_ports[0])
+        (entry,) = program._decision_cache.values()
+        recorded_version = entry.version
+
+        # A control-plane table install bumps the pipeline version.
+        pipe.pipeline.stage(0).add_table(
+            MatchActionTable(
+                name="noop",
+                match=lambda ctx: False,
+                action=lambda ctx: None,
+                match_bits=8,
+                stateful=False,
+            )
+        )
+        assert pipe.pipeline.version > recorded_version
+
+        # The stale entry must be re-recorded, not replayed.
+        ctx = program.process(Packet.udp(), binding.ingress_ports[0])
+        assert ctx.egress_port == binding.nf_port
+        (fresh,) = program._decision_cache.values()
+        assert fresh.version == pipe.pipeline.version
+
+    def test_reset_state_invalidates(self):
+        program = _baseline_program()
+        binding = program.bindings[0]
+        program.process(Packet.udp(), binding.ingress_ports[0])
+        assert program._decision_cache
+        program.invalidate_fast_path()
+        ctx = program.process(Packet.udp(), binding.ingress_ports[0])
+        assert ctx.egress_port == binding.nf_port
+
+
+class TestFirewallVerdictCacheInvalidation:
+    def _packet(self, src="172.16.5.9"):
+        return Packet.udp(src_ip=src, dst_port=80)
+
+    def test_add_rule_evicts_cached_verdicts(self):
+        firewall = Firewall(rules=[FirewallRule.blacklist("192.168.0.0/16")])
+        firewall.enable_fast_path()
+        assert firewall.process(self._packet()).forwarded
+        assert firewall._verdict_cache  # memoized
+
+        firewall.add_rule(FirewallRule.blacklist("172.16.0.0/12"))
+        assert not firewall._verdict_cache
+        result = firewall.process(self._packet())
+        assert not result.forwarded
+
+    def test_remove_rule_evicts_cached_verdicts(self):
+        firewall = Firewall(
+            rules=[
+                FirewallRule.blacklist("172.16.0.0/12"),
+                FirewallRule.blacklist("192.168.0.0/16"),
+            ]
+        )
+        firewall.enable_fast_path()
+        assert not firewall.process(self._packet()).forwarded
+        assert firewall._verdict_cache
+
+        removed = firewall.remove_rule(0)
+        assert removed.prefix_len == 12
+        assert not firewall._verdict_cache
+        assert firewall.process(self._packet()).forwarded
+
+    def test_rule_updates_change_cycle_costs_too(self):
+        # The memoized verdict includes the probe count; rule changes must
+        # refresh it or the cost model drifts.
+        firewall = Firewall(rules=[FirewallRule.blacklist("192.168.0.0/16")])
+        firewall.enable_fast_path()
+        one_rule = firewall.process(self._packet()).cycles
+        firewall.add_rule(FirewallRule.blacklist("10.99.0.0/16"))
+        two_rules = firewall.process(self._packet()).cycles
+        assert two_rules == one_rule + firewall.cycles_per_rule
+
+    def test_cached_verdicts_match_slow_path(self):
+        rules = [FirewallRule.blacklist(f"172.30.{i}.0/24") for i in range(5)]
+        rules.append(FirewallRule.blacklist("192.168.0.0/16"))
+        fast = Firewall(rules=list(rules))
+        fast.enable_fast_path()
+        slow = Firewall(rules=list(rules))
+        for index in range(64):
+            packet = Packet.udp(src_ip=f"192.168.{index % 3}.{index}", dst_port=index)
+            a, b = fast.process(packet), slow.process(packet)
+            assert (a.forwarded, a.cycles) == (b.forwarded, b.cycles)
+
+
+class TestMaglevBackendChurnInvalidation:
+    def _flow(self, index):
+        return FiveTuple(
+            src_ip=IPv4Address.from_string(f"10.1.0.{index % 250 + 1}"),
+            dst_ip=IPv4Address.from_string("10.2.0.1"),
+            protocol=PROTO_UDP,
+            src_port=1024 + index,
+            dst_port=80,
+        )
+
+    def test_remove_backend_evicts_cached_choices(self):
+        balancer = MaglevLoadBalancer.with_backend_count(4)
+        balancer.enable_fast_path()
+        flows = [self._flow(i) for i in range(200)]
+        before = {flow: balancer.backend_for(flow) for flow in flows}
+        assert balancer._backend_cache
+
+        victim = before[flows[0]].name
+        balancer.remove_backend(victim)
+        assert not any(
+            backend.name == victim
+            for backend in balancer._backend_cache.values()
+        )
+        after = {flow: balancer.backend_for(flow) for flow in flows}
+        assert all(backend.name != victim for backend in after.values())
+        # Post-churn choices must equal a freshly built balancer's (the
+        # cache may never pin flows to the pre-churn table).
+        fresh = MaglevLoadBalancer(
+            backends=list(balancer.backends), table_size=balancer.table_size
+        )
+        assert {f: b.name for f, b in after.items()} == {
+            f: fresh.backend_for(f).name for f in flows
+        }
+
+    def test_add_backend_evicts_cached_choices(self):
+        balancer = MaglevLoadBalancer.with_backend_count(3)
+        balancer.enable_fast_path()
+        flows = [self._flow(i) for i in range(300)]
+        for flow in flows:
+            balancer.backend_for(flow)
+        balancer.add_backend(Backend.from_string("backend-99", "10.100.0.99"))
+        after = {flow: balancer.backend_for(flow).name for flow in flows}
+        # The new backend must actually receive traffic (cache was evicted).
+        assert "backend-99" in set(after.values())
+
+    def test_churn_validation(self):
+        balancer = MaglevLoadBalancer.with_backend_count(2)
+        with pytest.raises(ValueError):
+            balancer.add_backend(Backend.from_string("backend-0", "10.0.0.9"))
+        with pytest.raises(ValueError):
+            balancer.remove_backend("nope")
+        balancer.remove_backend("backend-0")
+        with pytest.raises(ValueError):
+            balancer.remove_backend("backend-1")  # pool may not become empty

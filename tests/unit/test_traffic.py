@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.errors import WorkloadSpecError
 from repro.packet.packet import ETHERNET_UDP_HEADER_BYTES
 from repro.traffic.distributions import (
     EmpiricalDistribution,
@@ -27,9 +28,9 @@ class TestDistributions:
         assert distribution.mean() == 512
 
     def test_fixed_size_validates_range(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             FixedSizeDistribution(10)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             FixedSizeDistribution(5000)
 
     def test_empirical_cdf_monotone_and_normalized(self):
@@ -50,19 +51,19 @@ class TestDistributions:
         assert large_fraction == pytest.approx(0.8, abs=0.03)
 
     def test_empirical_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             EmpiricalDistribution([])
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             EmpiricalDistribution([(100, -1.0)])
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             EmpiricalDistribution([(10, 1.0)])
 
     def test_empirical_rejects_bad_weights(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             EmpiricalDistribution([(100, float("nan"))])
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             EmpiricalDistribution([(100, float("inf"))])
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             EmpiricalDistribution([(100, 0.5), (100, 0.5)])  # duplicate size
 
     def test_from_cdf_builds_equivalent_distribution(self):
@@ -74,21 +75,21 @@ class TestDistributions:
         assert sum(1 for s in samples if s == 100) / 2000 == pytest.approx(0.2, abs=0.03)
 
     def test_from_cdf_validates_inputs(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             EmpiricalDistribution.from_cdf([])
-        with pytest.raises(ValueError):  # not sorted by size
+        with pytest.raises(WorkloadSpecError):  # not sorted by size
             EmpiricalDistribution.from_cdf([(1000, 0.5), (100, 1.0)])
-        with pytest.raises(ValueError):  # CDF not increasing
+        with pytest.raises(WorkloadSpecError):  # CDF not increasing
             EmpiricalDistribution.from_cdf([(100, 0.8), (1000, 0.5)])
-        with pytest.raises(ValueError):  # value outside (0, 1]
+        with pytest.raises(WorkloadSpecError):  # value outside (0, 1]
             EmpiricalDistribution.from_cdf([(100, 0.0), (1000, 1.0)])
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             EmpiricalDistribution.from_cdf([(100, 0.5), (1000, 1.5)])
-        with pytest.raises(ValueError):  # does not end at 1.0
+        with pytest.raises(WorkloadSpecError):  # does not end at 1.0
             EmpiricalDistribution.from_cdf([(100, 0.2), (1000, 0.9)])
-        with pytest.raises(ValueError):  # duplicate size
+        with pytest.raises(WorkloadSpecError):  # duplicate size
             EmpiricalDistribution.from_cdf([(100, 0.2), (100, 1.0)])
-        with pytest.raises(ValueError):  # non-finite CDF value
+        with pytest.raises(WorkloadSpecError):  # non-finite CDF value
             EmpiricalDistribution.from_cdf([(100, float("nan"))])
 
     def test_enterprise_distribution_matches_paper_statistics(self):
@@ -134,11 +135,11 @@ class TestAnalyticDistributions:
             assert points[-1] == (MAX_FRAME_BYTES, 1.0)
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             ParetoSizeDistribution(shape=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             ParetoSizeDistribution(scale=-1)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             LognormalSizeDistribution(sigma=0)
 
 
@@ -152,7 +153,7 @@ class TestWorkload:
         assert workload.useful_fraction() == pytest.approx(0.1)
 
     def test_blacklist_fraction_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             Workload.fixed_size(500, blacklisted_fraction=1.5)
 
     def test_pcap_export_and_reimport(self, tmp_path):
@@ -200,7 +201,7 @@ class TestPacketFactory:
         assert factory.next_packet().five_tuple().dst_ip == first.dst_ip
 
     def test_config_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             PktGenConfig(rate_gbps=0, workload=Workload.fixed_size(256))
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             PktGenConfig(rate_gbps=1.0, workload=Workload.fixed_size(256), burst_size=0)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import WorkloadSpecError
 from repro.workloads.schedule import RatePhase, TraceSchedule
 
 
@@ -19,19 +20,19 @@ class TestRatePhase:
         assert phase.rate_at(1_000) == pytest.approx(12.0)
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             RatePhase(0, 1.0, 1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             RatePhase(10, -1.0, 1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             RatePhase(10, float("inf"), 1.0)
 
 
 class TestTraceSchedule:
     def test_needs_phases_and_some_traffic(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             TraceSchedule([])
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             TraceSchedule([RatePhase(100, 0.0, 0.0)])
 
     def test_constant(self):
@@ -79,7 +80,7 @@ class TestTraceSchedule:
         assert scaled.mean_gbps() == pytest.approx(4.0)
         assert scaled.rate_at(0) == pytest.approx(1.0)
         assert scaled.peak_gbps() == pytest.approx(5.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             schedule.scaled(0)
 
     def test_ramp_rate_holds_after_end(self):

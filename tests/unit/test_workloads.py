@@ -5,6 +5,7 @@ import statistics
 
 import pytest
 
+from repro.errors import WorkloadSpecError
 from repro.traffic.distributions import FixedSizeDistribution
 from repro.workloads import (
     ChurnFlows,
@@ -80,15 +81,15 @@ class TestArrivalModels:
         assert sum(gaps[:8]) == pytest.approx(8 * TARGET_GAP_NS)
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             MMPPArrivals(on_fraction=0.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             MMPPArrivals(on_fraction=0.5, burst_factor=3.0)  # 0.5*3 > 1
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             MMPPArrivals(burst_factor=0.5)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             IncastArrivals(fan_in=1)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             IncastArrivals(duty=1.0)
 
 
@@ -122,11 +123,11 @@ class TestFlowModels:
         assert flows[0] != flows[3]
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             RoundRobinFlows(flow_count=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             HeavyTailFlows(elephant_fraction=1.5)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             ChurnFlows(packets_per_flow=0)
 
 
@@ -145,12 +146,12 @@ class TestRegistry:
         assert len(names) >= 6
 
     def test_unknown_name_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             get_workload("nope")
 
     def test_duplicate_registration_rejected(self):
         name = workload_names()[0]
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             register_workload(name, WORKLOAD_REGISTRY[name])
 
     def test_lookups_return_fresh_specs(self):
@@ -198,7 +199,7 @@ class TestRegistry:
 
 class TestGenerativeWorkload:
     def test_needs_size_distribution(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             GenerativeWorkload(name="x", sizes=None)
 
     def test_packet_source_streams_frames(self):
@@ -269,13 +270,13 @@ class TestPcapReplay:
         assert doubled[-1].time_ns == pytest.approx(native[-1].time_ns / 2, rel=0.01)
 
     def test_rejects_empty_capture(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             PcapReplayWorkload([])
 
 
 class TestSummarize:
     def test_empty_trace_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadSpecError):
             summarize([])
 
     def test_row_shape(self):

@@ -1,0 +1,93 @@
+"""The fuzz corpus: entry round-trips and committed-corpus replay."""
+
+import json
+
+import pytest
+
+from repro.orchestrator.spec import RunSpec
+from repro.validation.corpus import (
+    DEFAULT_CORPUS_DIR,
+    corpus_entries,
+    entry_from_failure,
+    entry_relation_names,
+    load_entry,
+    replay_corpus,
+    run_spec_from_entry,
+    write_entry,
+)
+from repro.validation.fuzzer import FuzzFailure
+from repro.validation.invariants import Violation
+
+
+def _failure():
+    original = RunSpec(
+        scenario="workload",
+        params={"workload": "bursty-mmpp", "send_rate_gbps": 8.0,
+                "duration_us": 800.0, "warmup_us": 200.0, "seed": 7},
+    )
+    shrunk = RunSpec(
+        scenario="workload",
+        params={"send_rate_gbps": 4.0, "duration_us": 400.0,
+                "warmup_us": 100.0, "seed": 7},
+    )
+    violation = Violation(
+        check="fast-slow-equivalence",
+        message="fast path diverges",
+        scenario="workload-bursty-mmpp",
+        deployment="both",
+        details={"diffs": {"baseline_offered_gbps": {"left": 1, "right": 2}}},
+    )
+    return FuzzFailure(original=original, shrunk=shrunk, violations=[violation])
+
+
+class TestCorpusEntries:
+    def test_write_load_roundtrip(self, tmp_path):
+        failure = _failure()
+        path = write_entry(tmp_path, failure, seed=3)
+        entry = load_entry(path)
+        assert entry["scenario"] == "workload"
+        assert entry["params"] == dict(failure.shrunk.params)
+        assert entry["fuzz_seed"] == 3
+        assert entry["original"]["params"] == dict(failure.original.params)
+        assert entry["relations"] == ["fast-slow-equivalence"]
+        run = run_spec_from_entry(entry)
+        assert run.spec_hash == failure.shrunk.spec_hash
+
+    def test_entry_relation_names_resolve_to_registry_names(self):
+        entry = entry_from_failure(_failure(), seed=1)
+        assert entry_relation_names(entry) == ["fast_slow"]
+        entry["relations"] = ["seed-determinism", "time-scale-invariance"]
+        assert entry_relation_names(entry) == ["determinism", "time_scale"]
+        # Invariant-only entries fall back to the differential default.
+        entry["relations"] = ["packet-conservation"]
+        assert entry_relation_names(entry) == ["fast_slow"]
+
+    def test_corpus_dir_gets_a_triage_readme(self, tmp_path):
+        write_entry(tmp_path, _failure())
+        assert (tmp_path / "README.md").exists()
+
+    def test_load_entry_rejects_non_corpus_json(self, tmp_path):
+        bad = tmp_path / "repro-bad.json"
+        bad.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError):
+            load_entry(bad)
+
+    def test_entry_serialization_is_json_clean(self):
+        payload = entry_from_failure(_failure(), seed=1)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_missing_corpus_dir_is_empty(self, tmp_path):
+        assert corpus_entries(tmp_path / "absent") == []
+        summary = replay_corpus(tmp_path / "absent")
+        assert summary == {"entries": 0, "failing": 0, "results": []}
+
+
+@pytest.mark.validation
+class TestCommittedCorpus:
+    def test_every_committed_repro_replays_clean(self):
+        """Bugs the fuzzer ever found must stay fixed."""
+        paths = corpus_entries(DEFAULT_CORPUS_DIR)
+        if not paths:
+            pytest.skip("no committed corpus entries yet")
+        summary = replay_corpus(DEFAULT_CORPUS_DIR)
+        assert summary["failing"] == 0, summary
