@@ -13,6 +13,9 @@ Usage::
     python -m repro workload list            # named generative/replay workloads
     python -m repro workload describe bursty-mmpp
     python -m repro workload preview incast-sync --packets 5000
+    python -m repro faults list              # named fault-injection profiles
+    python -m repro faults preview chaos-mix --horizon-us 6000
+    python -m repro run fig07 --faults link-flap  # inject faults into a figure
     python -m repro run fig07 --slow-path    # reference simulation path
     python -m repro bench --quick --check    # fast-vs-slow speedup smoke
     python -m repro validate run --scenario workload -p workload=bursty-mmpp
@@ -35,6 +38,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
+    chaos,
     fig06_packet_size_cdf,
     fig07_goodput_latency,
     fig08_fixed_sizes,
@@ -66,6 +70,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig16": ("512-byte packets, FW->NAT, 40GbE", fig16_small_packets.main),
     "table1": ("Switch resource utilization", table1_resources.main),
     "equivalence": ("Functional equivalence check (§6.2.6)", functional_equivalence.main),
+    "chaos": ("Fault profiles vs. static run (repro-original)", chaos.main),
 }
 
 #: Experiment name → function returning JSON-serializable result data.
@@ -83,6 +88,7 @@ JSON_RUNNERS: Dict[str, Callable] = {
     "fig16": fig16_small_packets.run,
     "table1": table1_resources.run,
     "equivalence": functional_equivalence.run,
+    "chaos": chaos.run,
 }
 
 
@@ -114,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-scale", type=float, default=None,
         help="scale every scenario's simulated duration (e.g. 0.1 for a "
              "quick reduced-fidelity pass)",
+    )
+    run_parser.add_argument(
+        "--faults", default=None, metavar="PROFILE",
+        help="inject a fault profile into every scenario the experiment "
+             "builds (see 'repro faults list')",
     )
 
     quick_parser = subparsers.add_parser(
@@ -217,6 +228,39 @@ def build_parser() -> argparse.ArgumentParser:
     workload_preview.add_argument(
         "--pcap", default=None,
         help="replay this capture instead of the built-in one (pcap-replay only)",
+    )
+
+    faults_parser = subparsers.add_parser(
+        "faults", help="inspect and preview fault-injection profiles"
+    )
+    faults_sub = faults_parser.add_subparsers(dest="faults_command")
+
+    faults_list = faults_sub.add_parser("list", help="list registered fault profiles")
+    faults_list.add_argument(
+        "--names", action="store_true", help="print bare names only, one per line"
+    )
+
+    faults_describe = faults_sub.add_parser(
+        "describe", help="show one profile's events and generators"
+    )
+    faults_describe.add_argument("name", help="profile name (see 'faults list')")
+
+    faults_preview = faults_sub.add_parser(
+        "preview",
+        help="materialize a profile against a horizon and print the event "
+             "timeline (no simulation run)",
+    )
+    faults_preview.add_argument("name", help="profile name (see 'faults list')")
+    faults_preview.add_argument(
+        "--horizon-us", type=float, default=6_000.0,
+        help="run horizon the schedule resolves against (default 6000)",
+    )
+    faults_preview.add_argument(
+        "--seed", type=int, default=None,
+        help="materialization seed (default: the experiments' default seed)",
+    )
+    faults_preview.add_argument(
+        "--json", action="store_true", help="emit the event timeline as JSON"
     )
 
     validate_parser = subparsers.add_parser(
@@ -346,11 +390,16 @@ def _run_experiment(
     seed: Optional[int],
     slow_path: bool = False,
     time_scale: Optional[float] = None,
+    faults: Optional[str] = None,
 ) -> int:
     """Execute one experiment, optionally as JSON and/or with overrides."""
     from contextlib import ExitStack
 
-    from repro.experiments.runner import default_fast_path, default_time_scale
+    from repro.experiments.runner import (
+        default_fast_path,
+        default_faults,
+        default_time_scale,
+    )
 
     with ExitStack() as stack:
         if seed is not None:
@@ -359,6 +408,8 @@ def _run_experiment(
             stack.enter_context(default_fast_path(False))
         if time_scale is not None:
             stack.enter_context(default_time_scale(time_scale))
+        if faults is not None:
+            stack.enter_context(default_faults(faults))
         if not as_json:
             _description, runner = EXPERIMENTS[name]
             runner()
@@ -520,11 +571,17 @@ def _print_violations(violations) -> None:
 
 def _validate_run(args) -> int:
     from repro.orchestrator.spec import RunSpec
-    from repro.validation import check_run, load_entry, run_spec_from_entry
+    from repro.validation import (
+        check_run,
+        load_entry,
+        run_spec_from_entry,
+        validate_entry_names,
+    )
     from repro.validation.corpus import entry_relation_names
 
     if args.descriptor is not None:
         entry = load_entry(args.descriptor)
+        validate_entry_names(entry, source=args.descriptor)
         run = run_spec_from_entry(entry)
         if args.time_scale != 1.0:
             run = RunSpec(scenario=run.scenario, mode=run.mode,
@@ -628,6 +685,67 @@ def _validate_replay(args) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# Faults subcommands
+# ---------------------------------------------------------------------- #
+
+
+def _faults_list(args) -> int:
+    from repro.faults import fault_profile_names, get_fault_profile
+
+    names = fault_profile_names()
+    if args.names:
+        for name in names:
+            print(name)
+        return 0
+    width = max(len(name) for name in names)
+    for name in names:
+        print(f"{name.ljust(width)}  {get_fault_profile(name).description}")
+    return 0
+
+
+def _faults_describe(args) -> int:
+    from repro.faults import get_fault_profile
+
+    info = get_fault_profile(args.name).describe()
+    width = max(len(key) for key in info)
+    for key, value in info.items():
+        print(f"{key.ljust(width)}  {value}")
+    return 0
+
+
+def _faults_preview(args) -> int:
+    from repro.experiments.runner import current_default_seed
+    from repro.faults import get_fault_profile
+    from repro.telemetry.report import render_table
+
+    if args.horizon_us <= 0:
+        raise ValueError("--horizon-us must be positive")
+    seed = args.seed if args.seed is not None else current_default_seed()
+    schedule = get_fault_profile(args.name)
+    events = schedule.materialize(seed, int(args.horizon_us * 1_000))
+    rows = [event.as_row() for event in events]
+    if args.json:
+        json.dump(
+            {"profile": schedule.name, "seed": seed,
+             "horizon_us": args.horizon_us, "events": rows},
+            sys.stdout,
+            indent=2,
+        )
+        print()
+    elif not rows:
+        print(f"profile {schedule.name!r}: no events inside {args.horizon_us:g} us")
+    else:
+        columns = ["at_us", "kind"]
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        print(render_table(rows, columns=columns))
+        print(f"{len(rows)} event(s) over {args.horizon_us:g} us (seed {seed})")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
 # Workload subcommands
 # ---------------------------------------------------------------------- #
 
@@ -711,6 +829,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.seed,
                 slow_path=args.slow_path,
                 time_scale=args.time_scale,
+                faults=args.faults,
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -756,6 +875,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             "replay": _validate_replay,
         }
         handler = handlers.get(args.validate_command)
+        if handler is None:
+            parser.print_help()
+            return 1
+        try:
+            return handler(args)
+        except (ValueError, RuntimeError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "faults":
+        handlers = {
+            "list": _faults_list,
+            "describe": _faults_describe,
+            "preview": _faults_preview,
+        }
+        handler = handlers.get(args.faults_command)
         if handler is None:
             parser.print_help()
             return 1

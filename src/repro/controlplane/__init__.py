@@ -10,10 +10,15 @@ forwarding entries and NF rule sets, and an implementation of the
 adaptive eviction-policy controller the paper proposes.
 """
 
-from repro.controlplane.manager import AdaptiveEvictionPolicy, PayloadParkController
+from repro.controlplane.manager import (
+    AdaptiveEvictionPolicy,
+    ControlPlaneManager,
+    PayloadParkController,
+)
 from repro.controlplane.rules import DeploymentSpec, build_chain
 
 __all__ = [
+    "ControlPlaneManager",
     "PayloadParkController",
     "AdaptiveEvictionPolicy",
     "DeploymentSpec",

@@ -10,8 +10,9 @@ and back off to a conservative one when premature evictions appear.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.program import PayloadParkProgram
 
@@ -72,6 +73,114 @@ class PayloadParkController:
     def reset(self) -> None:
         """Clear dataplane state (tables, taggers, counters)."""
         self.program.reset_state()
+
+
+class ControlPlaneManager:
+    """Operator-level manager for one *running* deployment.
+
+    Where :class:`PayloadParkController` manages the switch program
+    alone, the manager spans the whole testbed — program *and* topology
+    — which is what mid-run reconfiguration needs: draining parked
+    payloads must invalidate fast-path caches, and resetting between
+    back-to-back runs on a shared topology must clear the link counters
+    too, not just the program state.  The fault-injection subsystem
+    (:mod:`repro.faults`) drives every reconfiguration through this
+    class, and works against the baseline program as well (PayloadPark-
+    only operations degrade to no-ops there).
+    """
+
+    def __init__(self, program: Any, topology: Any = None) -> None:
+        self.program = program
+        self.topology = topology
+        self.controller: Optional[PayloadParkController] = (
+            PayloadParkController(program)
+            if isinstance(program, PayloadParkProgram)
+            else None
+        )
+
+    @property
+    def is_payloadpark(self) -> bool:
+        """True when the managed program parks payloads."""
+        return self.controller is not None
+
+    # ------------------------------------------------------------------ #
+    # Topology access
+    # ------------------------------------------------------------------ #
+
+    def links(self) -> List[Any]:
+        """Every link in the managed topology (empty without a topology)."""
+        if self.topology is None:
+            return []
+        found = []
+        for attachment in self.topology.attachments:
+            found.extend(attachment.gen_links)
+            found.append(attachment.server_link)
+        return found
+
+    # ------------------------------------------------------------------ #
+    # Reconfiguration
+    # ------------------------------------------------------------------ #
+
+    def set_expiry_threshold(self, threshold: int) -> bool:
+        """Change the eviction expiry threshold mid-run.
+
+        Returns False (no-op) for the baseline program, which has no
+        eviction machinery.
+        """
+        if self.controller is None:
+            return False
+        self.controller.set_expiry_threshold(threshold)
+        return True
+
+    def drain_parked(
+        self, binding: Optional[str] = None, fraction: float = 1.0
+    ) -> Dict[str, int]:
+        """Reclaim occupied parking slots, accounting each as an eviction.
+
+        Drains the first ``ceil(occupied * fraction)`` occupied slots of
+        every targeted binding (deterministic order — index order — so
+        runs reproduce exactly).  Each drained payload increments the
+        binding's ``evictions`` counter, exactly as the expiry policy
+        would: the dataplane identity *outstanding == occupied* keeps
+        holding, and the packet whose payload was drained registers a
+        premature eviction when its header returns for the Merge.
+        Returns drained-slot counts per binding; empty for the baseline.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"drain fraction must lie in (0, 1], got {fraction}")
+        if self.controller is None:
+            return {}
+        program = self.program
+        drained: Dict[str, int] = {}
+        for name, table in program.lookup_tables.items():
+            if binding is not None and name != binding:
+                continue
+            occupied = table.occupied_indices()
+            take = math.ceil(len(occupied) * fraction)
+            count = 0
+            for index in occupied[:take]:
+                if table.drain_slot(index):
+                    program.counters_for(name).evictions += 1
+                    count += 1
+            drained[name] = count
+        program.invalidate_fast_path()
+        return drained
+
+    def reset(self) -> None:
+        """Reset the deployment between runs: program state *and* testbed counters.
+
+        Clears the program's tables/taggers/counters (PayloadPark) or
+        memoized decisions (baseline), and zeroes every link's counters —
+        drop/occupancy statistics must not leak into the next run on a
+        shared topology.
+        """
+        if self.controller is not None:
+            self.controller.reset()
+        else:
+            self.program.invalidate_fast_path()
+            self.program.asic.reset_counters()
+        for link in self.links():
+            link.reset_stats()
 
 
 @dataclass

@@ -342,6 +342,30 @@ class LookupTable:
         total += sum(array.sram_bytes for array in self.block_arrays)
         return total
 
+    def occupied_indices(self) -> List[int]:
+        """Indices of currently occupied slots (control-plane scan)."""
+        return [
+            index for index in range(self.entries)
+            if self.metadata.peek(index).occupied
+        ]
+
+    def drain_slot(self, index: int) -> bool:
+        """Control-plane reclamation of one slot: free metadata *and* payload.
+
+        Returns True when the slot was occupied.  The caller is
+        responsible for the accounting (the control plane records each
+        drained payload as an eviction, exactly as the expiry policy
+        would have) — draining without accounting orphans the payload,
+        which the validation subsystem's no-orphaned-payload invariant
+        detects.
+        """
+        if not self.metadata.peek(index).occupied:
+            return False
+        self.metadata.poke(index, MetadataEntry())
+        for array in self.block_arrays:
+            array.poke(index, b"")
+        return True
+
     def clear(self) -> None:
         """Reset the whole table (control plane; used between experiment runs)."""
         self.metadata.clear()

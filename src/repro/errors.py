@@ -8,6 +8,17 @@ creating import cycles.
 from __future__ import annotations
 
 
+class FaultSpecError(ValueError):
+    """An invalid fault-injection specification.
+
+    Raised by the fault subsystem's validators — event records, schedule
+    specs, generator descriptions and the fault-profile registry — so
+    callers can catch one domain error type.  Subclasses
+    :class:`ValueError`, so pre-existing ``except ValueError`` handlers
+    (the CLI, campaign loaders) keep working.
+    """
+
+
 class WorkloadSpecError(ValueError):
     """An invalid workload/traffic specification.
 

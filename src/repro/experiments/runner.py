@@ -107,6 +107,37 @@ def default_fast_path(enabled: bool):
         _FAST_PATH_OVERRIDE = previous
 
 
+#: Active faults override installed by :func:`default_faults`.
+_FAULTS_OVERRIDE: Optional[object] = None
+
+
+def current_default_faults() -> Optional[object]:
+    """The fault spec newly-built scenarios pick up by default (None = off)."""
+    return _FAULTS_OVERRIDE
+
+
+@contextmanager
+def default_faults(spec):
+    """Temporarily attach a fault schedule to every built scenario.
+
+    The CLI's ``repro run --faults <profile>`` flag wraps experiment
+    execution in this context so every scenario the experiment builds
+    inherits the fault spec (a profile name or an inline dict) without
+    threading a parameter through each module.  The spec is validated
+    eagerly so a typo fails before any simulation starts.
+    """
+    from repro.faults.schedule import EventSchedule
+
+    EventSchedule.from_spec(spec)  # validate (raises FaultSpecError)
+    global _FAULTS_OVERRIDE
+    previous = _FAULTS_OVERRIDE
+    _FAULTS_OVERRIDE = spec
+    try:
+        yield
+    finally:
+        _FAULTS_OVERRIDE = previous
+
+
 #: Observer installed by :func:`run_observer` (None = no observer).
 _RUN_OBSERVER: Optional["RunObserver"] = None
 
@@ -155,6 +186,16 @@ _TIME_SCALE_OVERRIDE: Optional[float] = None
 def current_default_time_scale() -> float:
     """The simulated-time multiplier runners pick up by default."""
     return _TIME_SCALE_OVERRIDE if _TIME_SCALE_OVERRIDE is not None else 1.0
+
+
+def time_scale_override() -> Optional[float]:
+    """The time scale requested via :func:`default_time_scale`, if any.
+
+    Experiments with their own fidelity default (the chaos experiment
+    runs at 0.2 unless told otherwise) consult this so the CLI's
+    ``--time-scale`` flag still wins over that default.
+    """
+    return _TIME_SCALE_OVERRIDE
 
 
 @contextmanager
@@ -239,6 +280,13 @@ class ScenarioConfig:
     #: asserts byte-identical results against ``fast_path=False``, which
     #: keeps the original reference implementations.
     fast_path: bool = field(default_factory=current_default_fast_path)
+    #: Optional fault-injection spec (see :mod:`repro.faults`): a
+    #: registered profile name, an inline schedule dict, or an
+    #: :class:`~repro.faults.schedule.EventSchedule`.  Kept as plain data
+    #: so scenarios stay picklable and campaign grids can sweep it; the
+    #: runner materializes it into a
+    #: :class:`~repro.faults.injector.FaultInjectorNode` per run.
+    faults: Optional[object] = field(default_factory=current_default_faults)
 
     def with_rate(self, rate_gbps: float) -> "ScenarioConfig":
         """A copy of this scenario at a different offered rate.
@@ -330,6 +378,7 @@ class ExperimentRunner:
             traffic_model=scenario.traffic_model,
             fast_path=scenario.fast_path,
         )
+        self._attach_faults(scenario, topology, program)
         return self._execute(scenario, deployment, topology, program)[0]
 
     def compare(self, scenario: ScenarioConfig) -> ExperimentResult:
@@ -373,6 +422,7 @@ class ExperimentRunner:
             traffic_model=scenario.traffic_model,
             fast_path=scenario.fast_path,
         )
+        self._attach_faults(scenario, topology, program)
         return self._execute(scenario, deployment, topology, program)
 
     def compare_multi_server(self, scenario: ScenarioConfig) -> ExperimentResult:
@@ -475,6 +525,21 @@ class ExperimentRunner:
                 nf.enable_fast_path()
         return NfServerModel(chain=chain, config=config)
 
+    @staticmethod
+    def _attach_faults(scenario: ScenarioConfig, topology, program: SwitchProgram) -> None:
+        """Materialize the scenario's fault spec into an injector, if any."""
+        if scenario.faults is None:
+            return
+        from repro.faults.injector import FaultInjectorNode
+        from repro.faults.schedule import EventSchedule
+
+        schedule = EventSchedule.from_spec(scenario.faults)
+        topology.attach_fault_injector(
+            FaultInjectorNode(
+                topology.env, topology, program, schedule, seed=scenario.seed
+            )
+        )
+
     def _execute(
         self,
         scenario: ScenarioConfig,
@@ -557,10 +622,14 @@ class ExperimentRunner:
         # Unintentional drops observed inside the measurement window: link
         # egress-buffer overflows, NIC/server overflows, and PayloadPark
         # packets lost to premature evictions or corrupted tags.  Packets the
-        # NF chain deliberately dropped (firewall policy) do not count
-        # against the health criterion.
+        # NF chain deliberately dropped (firewall policy) and frames lost to
+        # *injected* faults (link outages, loss windows — deliberate scenario
+        # conditions, attributed by their own counters) do not count against
+        # the §6.3.1 health criterion, or a peak-goodput search under a fault
+        # schedule would collapse regardless of actual system health.
         dropped = int(
             link_delta.get("dropped_frames", 0)
+            - link_delta.get("fault_drops", 0)
             + server_delta.get("overflow_drops", 0)
             + pp_delta.get("premature_evictions", 0)
             + pp_delta.get("tag_validation_failures", 0)
@@ -603,8 +672,16 @@ class ExperimentRunner:
             drop_breakdown={
                 "server_overflow": int(server_delta.get("overflow_drops", 0)),
                 "chain_dropped": chain_dropped,
-                "link_drops": sum(link.total_drops() for link in attachment.gen_links)
-                + attachment.server_link.total_drops(),
+                # Disjoint link categories: organic buffer overflows vs
+                # injected fault losses (their sum is Link.total_drops()).
+                "link_drops": sum(
+                    link.buffer_drops() for link in attachment.gen_links
+                )
+                + attachment.server_link.buffer_drops(),
+                "link_fault_drops": sum(
+                    link.fault_drops() for link in attachment.gen_links
+                )
+                + attachment.server_link.fault_drops(),
             },
         )
         return report

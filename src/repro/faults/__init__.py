@@ -1,0 +1,48 @@
+"""Fault injection & control-plane churn: the chaos axis of the evaluation.
+
+The paper's claim is that payload parking survives *real* operating
+conditions — NF backends coming and going, rules being pushed, links
+degrading — not just static testbeds.  This package makes those
+conditions a first-class, declarative scenario dimension:
+
+* :mod:`~repro.faults.events` — the atomic timed operations (link
+  down/up, loss and latency-jitter windows, Maglev backend churn,
+  firewall rule bursts, expiry-threshold reconfiguration, parked-payload
+  drains);
+* :mod:`~repro.faults.schedule` — :class:`EventSchedule`, a plain-data
+  YAML/dict spec of explicit events plus seeded periodic generators,
+  materialized deterministically against a run horizon;
+* :mod:`~repro.faults.injector` — :class:`FaultInjectorNode`, the
+  simulation node that executes a schedule against the live testbed
+  through a :class:`~repro.controlplane.manager.ControlPlaneManager`;
+* :mod:`~repro.faults.registry` — named profiles (``link-flap``,
+  ``backend-churn``, ``chaos-mix``, …) swept by campaigns and the
+  scenario fuzzer.
+
+CLI: ``repro faults list|describe|preview`` and ``repro run <fig>
+--faults <profile>``.  Campaigns sweep profiles via a ``faults`` grid
+axis; every mutation preserves fast-vs-slow equality and seed
+determinism (the chaos test suite proves it).
+"""
+
+from repro.faults.events import EVENT_KINDS, FaultEvent, validate_event_record
+from repro.faults.injector import FaultInjectorNode
+from repro.faults.registry import (
+    FAULT_REGISTRY,
+    fault_profile_names,
+    get_fault_profile,
+    register_fault_profile,
+)
+from repro.faults.schedule import EventSchedule
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventSchedule",
+    "FAULT_REGISTRY",
+    "FaultEvent",
+    "FaultInjectorNode",
+    "fault_profile_names",
+    "get_fault_profile",
+    "register_fault_profile",
+    "validate_event_record",
+]

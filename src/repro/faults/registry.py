@@ -1,0 +1,166 @@
+"""The named fault-profile registry.
+
+Every profile here is runnable three ways with zero setup: previewed
+with ``repro faults preview <name>``, attached to any experiment with
+``repro run <fig> --faults <name>``, and swept by campaigns
+(``grid: {faults: [...]}``) or the scenario fuzzer.
+
+Profiles express times as *fractions of the run horizon* so one profile
+adapts to any scenario duration and ``--time-scale`` setting.  Builders,
+not instances, are registered, mirroring the workload registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import FaultSpecError
+from repro.faults.schedule import EventSchedule
+
+#: Profile name → zero-argument builder returning a fresh schedule.
+FAULT_REGISTRY: Dict[str, Callable[[], EventSchedule]] = {}
+
+
+def register_fault_profile(name: str, builder: Callable[[], EventSchedule]) -> None:
+    """Add *builder* under *name*; duplicate names are an error."""
+    if name in FAULT_REGISTRY:
+        raise FaultSpecError(f"fault profile {name!r} is already registered")
+    FAULT_REGISTRY[name] = builder
+
+
+def fault_profile_names() -> List[str]:
+    """Sorted registered fault-profile names."""
+    return sorted(FAULT_REGISTRY)
+
+
+def get_fault_profile(name: str) -> EventSchedule:
+    """Build a fresh schedule for *name* (``FaultSpecError`` on unknowns)."""
+    builder = FAULT_REGISTRY.get(name)
+    if builder is None:
+        raise FaultSpecError(
+            f"unknown fault profile {name!r}; expected one of {fault_profile_names()}"
+        )
+    return builder()
+
+
+# ---------------------------------------------------------------------- #
+# Built-in profiles
+# ---------------------------------------------------------------------- #
+
+
+def _link_flap() -> EventSchedule:
+    return EventSchedule(
+        name="link-flap",
+        description="The switch→NF-server link goes down for 8% of the run, "
+                    "twice, mid-run; parked headers ride out the outage.",
+        events=(
+            {"kind": "link_down", "at_frac": 0.35, "duration_frac": 0.08,
+             "link": "server"},
+            {"kind": "link_down", "at_frac": 0.70, "duration_frac": 0.08,
+             "link": "server"},
+        ),
+    )
+
+
+def _lossy_links() -> EventSchedule:
+    return EventSchedule(
+        name="lossy-links",
+        description="Random 5% frame loss opens on every link in periodic "
+                    "windows (degraded optics / early congestion drops).",
+        generators=(
+            {"kind": "link_loss", "period_frac": 0.25, "duration_frac": 0.10,
+             "probability": 0.05, "link": "all", "jitter": 0.3},
+        ),
+    )
+
+
+def _jittery_links() -> EventSchedule:
+    return EventSchedule(
+        name="jittery-links",
+        description="Latency-jitter windows add up to 4 µs of uniform extra "
+                    "propagation delay on the server link.",
+        generators=(
+            {"kind": "link_jitter", "period_frac": 0.30, "duration_frac": 0.15,
+             "jitter_ns": 4_000, "link": "server", "jitter": 0.2},
+        ),
+    )
+
+
+def _backend_churn() -> EventSchedule:
+    return EventSchedule(
+        name="backend-churn",
+        description="Maglev pool churn: a backend drains out and a fresh one "
+                    "joins every fifth of the run (rolling restart).",
+        generators=(
+            {"kind": "backend_churn", "period_frac": 0.20, "action": "flap",
+             "jitter": 0.25},
+        ),
+    )
+
+
+def _rule_burst() -> EventSchedule:
+    return EventSchedule(
+        name="rule-burst",
+        description="Firewall ACL bursts: 8 rules install mid-run and are "
+                    "withdrawn later (policy push + rollback).",
+        events=(
+            {"kind": "firewall_churn", "at_frac": 0.30, "action": "add", "count": 8},
+            {"kind": "firewall_churn", "at_frac": 0.75, "action": "remove", "count": 8},
+        ),
+    )
+
+
+def _threshold_flap() -> EventSchedule:
+    return EventSchedule(
+        name="threshold-flap",
+        description="The control plane oscillates the expiry threshold between "
+                    "aggressive and conservative mid-run (PayloadPark only).",
+        events=(
+            {"kind": "expiry_threshold", "at_frac": 0.30, "value": 10},
+            {"kind": "expiry_threshold", "at_frac": 0.60, "value": 1},
+        ),
+    )
+
+
+def _park_drain() -> EventSchedule:
+    return EventSchedule(
+        name="park-drain",
+        description="The control plane reclaims half the occupied parking "
+                    "slots mid-run, accounting each as an eviction "
+                    "(SRAM re-slicing under pressure).",
+        events=(
+            {"kind": "park_drain", "at_frac": 0.50, "fraction": 0.5},
+        ),
+    )
+
+
+def _chaos_mix() -> EventSchedule:
+    return EventSchedule(
+        name="chaos-mix",
+        description="Everything at once: backend churn, rule bursts, loss "
+                    "windows, a link flap, a threshold change and a park "
+                    "drain in one run.",
+        events=(
+            {"kind": "link_down", "at_frac": 0.40, "duration_frac": 0.05,
+             "link": "gen0"},
+            {"kind": "firewall_churn", "at_frac": 0.25, "action": "add", "count": 4},
+            {"kind": "expiry_threshold", "at_frac": 0.55, "value": 5},
+            {"kind": "park_drain", "at_frac": 0.65, "fraction": 0.5},
+        ),
+        generators=(
+            {"kind": "backend_churn", "period_frac": 0.25, "action": "flap",
+             "jitter": 0.2},
+            {"kind": "link_loss", "period_frac": 0.35, "duration_frac": 0.08,
+             "probability": 0.03, "link": "all", "jitter": 0.3},
+        ),
+    )
+
+
+register_fault_profile("link-flap", _link_flap)
+register_fault_profile("lossy-links", _lossy_links)
+register_fault_profile("jittery-links", _jittery_links)
+register_fault_profile("backend-churn", _backend_churn)
+register_fault_profile("rule-burst", _rule_burst)
+register_fault_profile("threshold-flap", _threshold_flap)
+register_fault_profile("park-drain", _park_drain)
+register_fault_profile("chaos-mix", _chaos_mix)

@@ -15,8 +15,9 @@ arrival) are scheduled with one batched call.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.netsim.eventloop import EventLoop
 from repro.netsim.node import Node
@@ -25,7 +26,14 @@ from repro.packet.packet import Packet
 
 @dataclass
 class LinkDirectionStats:
-    """Counters for one direction of a link."""
+    """Counters for one direction of a link.
+
+    ``frames_dropped`` counts egress-buffer overflows (the organic drop
+    mechanism); the two fault counters attribute frames lost to injected
+    conditions — a downed link or an active random-loss window — so the
+    validation subsystem's drop-aware packet-conservation invariant can
+    account every loss to its mechanism.
+    """
 
     frames_sent: int = 0
     frames_delivered: int = 0
@@ -34,6 +42,27 @@ class LinkDirectionStats:
     bytes_dropped: int = 0
     busy_ns: int = 0
     peak_queue_bytes: int = 0
+    frames_dropped_down: int = 0
+    frames_dropped_loss: int = 0
+    bytes_dropped_fault: int = 0
+
+    @property
+    def fault_drops(self) -> int:
+        """Frames lost to injected faults (link down + loss windows)."""
+        return self.frames_dropped_down + self.frames_dropped_loss
+
+    def reset(self) -> None:
+        """Zero every counter (control plane; see ControlPlaneManager.reset)."""
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+        self.bytes_dropped = 0
+        self.busy_ns = 0
+        self.peak_queue_bytes = 0
+        self.frames_dropped_down = 0
+        self.frames_dropped_loss = 0
+        self.bytes_dropped_fault = 0
 
 
 class _LinkDirection:
@@ -49,6 +78,12 @@ class _LinkDirection:
         "queued_bytes",
         "stats",
         "_deliver",
+        "up",
+        "loss_probability",
+        "jitter_ns",
+        "_loss_rng",
+        "_jitter_rng",
+        "last_arrival_ns",
     )
 
     def __init__(
@@ -69,6 +104,23 @@ class _LinkDirection:
         self.stats = LinkDirectionStats()
         #: Bound by the owning Link once the receiving endpoint is known.
         self._deliver = None
+        # Fault-injection state (see repro.faults): a downed direction
+        # drops every offered frame; an active loss window drops each
+        # frame with ``loss_probability``; an active jitter window adds a
+        # uniform extra in [0, jitter_ns) to the propagation delay.  All
+        # default to the fault-free fast case, so the per-frame checks in
+        # ``transmit`` cost two predictable branches.
+        self.up = True
+        self.loss_probability = 0.0
+        self.jitter_ns = 0
+        self._loss_rng = None
+        self._jitter_rng = None
+        #: Latest arrival time scheduled on this direction.  A wire is
+        #: FIFO: jitter delays frames but can never reorder them, so
+        #: jittered arrivals are clamped to be monotone.  Without jitter
+        #: arrivals are already strictly increasing (serialization is
+        #: serialized through ``next_free_ns``), making the clamp a no-op.
+        self.last_arrival_ns = 0
 
     def serialization_ns(self, nbytes: int) -> int:
         """Time to clock *nbytes* onto the wire at the link rate."""
@@ -82,6 +134,14 @@ class _LinkDirection:
         """
         stats = self.stats
         wire_bytes = packet.wire_length
+        if not self.up:
+            stats.frames_dropped_down += 1
+            stats.bytes_dropped_fault += wire_bytes
+            return
+        if self.loss_probability > 0.0 and self._loss_rng.random() < self.loss_probability:
+            stats.frames_dropped_loss += 1
+            stats.bytes_dropped_fault += wire_bytes
+            return
         queued = self.queued_bytes + wire_bytes
         if queued > self.buffer_bytes:
             stats.frames_dropped += 1
@@ -109,12 +169,20 @@ class _LinkDirection:
             stats.frames_delivered += 1
             deliver(packet)
 
+        propagation = self.propagation_delay_ns
+        if self.jitter_ns:
+            propagation += int(self._jitter_rng.random() * self.jitter_ns)
+        arrival = tx_done + propagation
+        if arrival < self.last_arrival_ns:
+            arrival = self.last_arrival_ns
+        self.last_arrival_ns = arrival
+
         # One batched call; identical ordering to two schedule_at calls
         # (schedule_many preserves pair order for tie-breaking).
         self.env.schedule_many(
             (
                 (tx_done, finish_serialization),
-                (tx_done + self.propagation_delay_ns, arrive),
+                (arrival, arrive),
             )
         )
 
@@ -170,8 +238,80 @@ class Link:
             raise ValueError(f"{sender.name} is not attached to link {self.name}")
 
     # ------------------------------------------------------------------ #
+    # Fault injection (control plane; see repro.faults)
+    # ------------------------------------------------------------------ #
+
+    def set_up(self, up: bool) -> None:
+        """Bring both directions of the link up or down.
+
+        While down, every frame offered to either direction is dropped
+        and counted as a fault drop; frames already serialized or
+        propagating still arrive (the outage severs new transmissions,
+        not photons already in flight).
+        """
+        self._a_to_b.up = up
+        self._b_to_a.up = up
+
+    @property
+    def is_up(self) -> bool:
+        """True when both directions accept frames."""
+        return self._a_to_b.up and self._b_to_a.up
+
+    def set_loss(self, probability: float, seed: int = 0) -> None:
+        """Open (or with 0.0, close) a random-loss window on both directions.
+
+        Each direction draws from its own RNG derived from *seed*, so
+        the drop pattern is reproducible for a given scenario seed and
+        identical across the fast and reference simulation paths.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must lie in [0, 1], got {probability}")
+        for salt, direction in enumerate((self._a_to_b, self._b_to_a)):
+            direction.loss_probability = probability
+            if probability > 0.0:
+                direction._loss_rng = random.Random((seed * 2 + salt) & 0xFFFFFFFFFFFFFFFF)
+            else:
+                direction._loss_rng = None
+
+    def set_jitter(self, jitter_ns: int, seed: int = 0) -> None:
+        """Open (or with 0, close) a latency-jitter window on both directions.
+
+        While active, each frame's propagation delay gains a uniform
+        extra in ``[0, jitter_ns)`` drawn from a seed-derived RNG.
+        """
+        if jitter_ns < 0:
+            raise ValueError(f"jitter_ns must be non-negative, got {jitter_ns}")
+        for salt, direction in enumerate((self._a_to_b, self._b_to_a)):
+            direction.jitter_ns = jitter_ns
+            if jitter_ns > 0:
+                direction._jitter_rng = random.Random((seed * 2 + salt + 1) & 0xFFFFFFFFFFFFFFFF)
+            else:
+                direction._jitter_rng = None
+
+    def clear_faults(self) -> None:
+        """Return the link to its fault-free state (up, lossless, jitterless)."""
+        self.set_up(True)
+        self.set_loss(0.0)
+        self.set_jitter(0)
+
+    def reset_stats(self) -> None:
+        """Zero both directions' counters (live state — queue occupancy,
+        serialization cursor — is untouched; see ControlPlaneManager.reset)."""
+        self._a_to_b.stats.reset()
+        self._b_to_a.stats.reset()
+
+    # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
+
+    def direction_counters(self) -> "Tuple[LinkDirectionStats, LinkDirectionStats]":
+        """Both directions' counters, ``(a->b, b->a)`` (control-plane view).
+
+        The public surface the validation subsystem iterates for
+        per-direction accounting identities, so invariants do not couple
+        to the private direction layout.
+        """
+        return (self._a_to_b.stats, self._b_to_a.stats)
 
     def direction_stats(self, sender: Node) -> LinkDirectionStats:
         """Stats of the direction whose transmitter is *sender*."""
@@ -182,8 +322,17 @@ class Link:
         raise ValueError(f"{sender.name} is not attached to link {self.name}")
 
     def total_drops(self) -> int:
-        """Frames dropped in both directions."""
+        """Frames dropped in both directions (buffer overflows + faults)."""
+        a, b = self._a_to_b.stats, self._b_to_a.stats
+        return a.frames_dropped + a.fault_drops + b.frames_dropped + b.fault_drops
+
+    def buffer_drops(self) -> int:
+        """Frames lost to egress-buffer overflows in both directions."""
         return self._a_to_b.stats.frames_dropped + self._b_to_a.stats.frames_dropped
+
+    def fault_drops(self) -> int:
+        """Frames lost to injected faults (down/loss) in both directions."""
+        return self._a_to_b.stats.fault_drops + self._b_to_a.stats.fault_drops
 
     def stats(self) -> Dict[str, float]:
         """Combined counters for both directions."""
@@ -191,7 +340,9 @@ class Link:
             "a_to_b_sent": self._a_to_b.stats.frames_sent,
             "a_to_b_dropped": self._a_to_b.stats.frames_dropped,
             "a_to_b_bytes": self._a_to_b.stats.bytes_sent,
+            "a_to_b_fault_drops": self._a_to_b.stats.fault_drops,
             "b_to_a_sent": self._b_to_a.stats.frames_sent,
             "b_to_a_dropped": self._b_to_a.stats.frames_dropped,
             "b_to_a_bytes": self._b_to_a.stats.bytes_sent,
+            "b_to_a_fault_drops": self._b_to_a.stats.fault_drops,
         }

@@ -71,6 +71,20 @@ class NfServerNode(Node):
         self.overflow_drops = 0
         self.busy_ns = 0
 
+    def invalidate_cost_cache(self) -> None:
+        """Recompute the memoized cost model after an NF chain mutation.
+
+        Control-plane churn (firewall rule bursts) changes the chain's
+        per-stage cycle estimates mid-run.  The reference path queries
+        the model live for every packet and picks the change up
+        immediately; this hook re-derives the fast path's cached values
+        at the same simulated instant, keeping the two paths identical
+        under active fault schedules.  No-op when caching is off.
+        """
+        if self._bottleneck_ns is not None:
+            self._bottleneck_ns = self.model.bottleneck_service_ns()
+            self._pipeline_latency_ns = self.model.pipeline_latency_ns()
+
     # ------------------------------------------------------------------ #
     # Receive path
     # ------------------------------------------------------------------ #

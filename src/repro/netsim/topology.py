@@ -52,6 +52,10 @@ class BaseTopology:
         self.program = program
         self.switch = SwitchNode(env, program, base_latency_ns=switch_latency_ns)
         self.attachments: List[ServerAttachment] = []
+        #: Optional chaos driver (see repro.faults); attached by the
+        #: experiment runner when the scenario carries a ``faults`` spec
+        #: and started alongside the traffic generators.
+        self.fault_injector = None
 
     def attach_server(
         self,
@@ -121,8 +125,22 @@ class BaseTopology:
     # Execution helpers
     # ------------------------------------------------------------------ #
 
+    def attach_fault_injector(self, injector) -> None:
+        """Register *injector* to be started with the traffic generators."""
+        if self.fault_injector is not None:
+            raise ValueError("a fault injector is already attached")
+        self.fault_injector = injector
+
     def start_traffic(self, duration_ns: int) -> None:
-        """Start every traffic generator for *duration_ns*."""
+        """Start every traffic generator (and any fault injector) for *duration_ns*.
+
+        The injector arms before the generators so same-tick fault
+        events execute ahead of same-tick traffic bursts — identically
+        in the reference and fast event loops (both preserve scheduling
+        order for ties).
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.start(duration_ns)
         for attachment in self.attachments:
             attachment.pktgen.start(duration_ns)
 
@@ -139,7 +157,12 @@ class BaseTopology:
             snap[f"server.{name}"] = attachment.server.stats()
             link_drops = attachment.server_link.total_drops()
             link_drops += sum(link.total_drops() for link in attachment.gen_links)
-            snap[f"links.{name}"] = {"dropped_frames": float(link_drops)}
+            fault_drops = attachment.server_link.fault_drops()
+            fault_drops += sum(link.fault_drops() for link in attachment.gen_links)
+            snap[f"links.{name}"] = {
+                "dropped_frames": float(link_drops),
+                "fault_drops": float(fault_drops),
+            }
         return snap
 
 

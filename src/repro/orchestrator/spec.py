@@ -60,6 +60,10 @@ SCENARIO_OVERRIDES = frozenset(
         "gen_link_gbps",
         "switch_latency_ns",
         "fast_path",
+        # Fault-injection spec: a registered profile name or an inline
+        # schedule dict (see repro.faults); both are plain data, so grids
+        # sweep fault profiles like any other axis.
+        "faults",
     }
 )
 

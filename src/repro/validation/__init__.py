@@ -27,6 +27,7 @@ from repro.validation.corpus import (
     replay_corpus,
     replay_entry,
     run_spec_from_entry,
+    validate_entry_names,
     write_entry,
 )
 from repro.validation.engine import (
@@ -49,6 +50,8 @@ from repro.validation.invariants import (
     GoodputBound,
     Invariant,
     LatencyCausality,
+    NfStateConsistency,
+    NoOrphanedPayload,
     PacketConservation,
     ParkingSlotLeak,
     RegisterBounds,
@@ -78,6 +81,8 @@ __all__ = [
     "Invariant",
     "LatencyCausality",
     "MetamorphicRelation",
+    "NfStateConsistency",
+    "NoOrphanedPayload",
     "PacketConservation",
     "ParkingSlotLeak",
     "RELATION_REGISTRY",
@@ -103,5 +108,6 @@ __all__ = [
     "replay_entry",
     "run_spec_from_entry",
     "shrink",
+    "validate_entry_names",
     "write_entry",
 ]

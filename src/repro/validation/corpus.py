@@ -93,6 +93,43 @@ def load_entry(path) -> Dict[str, Any]:
     return data
 
 
+def validate_entry_names(entry: Dict[str, Any], source: Any = "corpus entry") -> None:
+    """Check every registry name an entry references still resolves.
+
+    Registries evolve: a scenario, workload or fault profile a repro was
+    recorded against may have been renamed or removed since.  Replaying
+    such an entry used to surface as a bare lookup failure deep inside
+    scenario materialization; this check turns it into one actionable
+    message naming the stale reference and the file carrying it, so the
+    fix (re-record or delete the entry) is obvious.
+    """
+    from repro.orchestrator.spec import SCENARIO_REGISTRY
+
+    def _stale(kind: str, name: str, known) -> ValueError:
+        return ValueError(
+            f"{source}: references {kind} {name!r}, which is no longer "
+            f"registered (known: {sorted(known)}); the corpus entry is stale — "
+            "re-record it against the current registries or delete it"
+        )
+
+    scenario = entry.get("scenario")
+    if scenario not in SCENARIO_REGISTRY:
+        raise _stale("scenario", scenario, SCENARIO_REGISTRY)
+    params = entry.get("params", {})
+    workload = params.get("workload")
+    if workload is not None:
+        from repro.workloads.registry import WORKLOAD_REGISTRY
+
+        if workload not in WORKLOAD_REGISTRY:
+            raise _stale("workload", workload, WORKLOAD_REGISTRY)
+    faults = params.get("faults")
+    if isinstance(faults, str):
+        from repro.faults.registry import FAULT_REGISTRY
+
+        if faults not in FAULT_REGISTRY:
+            raise _stale("fault profile", faults, FAULT_REGISTRY)
+
+
 def corpus_entries(corpus_dir=None) -> List[Path]:
     """Corpus entry files under *corpus_dir* (default: the committed corpus)."""
     corpus_dir = Path(corpus_dir) if corpus_dir is not None else DEFAULT_CORPUS_DIR
@@ -126,11 +163,17 @@ def entry_relation_names(entry: Dict[str, Any]) -> List[str]:
     return names or ["fast_slow"]
 
 
-def replay_entry(entry: Dict[str, Any]) -> List[Violation]:
-    """Re-execute one corpus entry; returns the violations it produces now."""
+def replay_entry(entry: Dict[str, Any], source: Any = "corpus entry") -> List[Violation]:
+    """Re-execute one corpus entry; returns the violations it produces now.
+
+    Raises ``ValueError`` with an actionable message when the entry
+    references a scenario/workload/fault-profile name that is no longer
+    registered (see :func:`validate_entry_names`).
+    """
     from repro.validation.fuzzer import check_run
     from repro.validation.metamorphic import build_relations
 
+    validate_entry_names(entry, source=source)
     return check_run(
         run_spec_from_entry(entry), build_relations(entry_relation_names(entry))
     )
@@ -141,7 +184,7 @@ def replay_corpus(corpus_dir=None) -> Dict[str, Any]:
     results: List[Dict[str, Any]] = []
     failing = 0
     for path in corpus_entries(corpus_dir):
-        violations = replay_entry(load_entry(path))
+        violations = replay_entry(load_entry(path), source=path)
         if violations:
             failing += 1
         results.append(

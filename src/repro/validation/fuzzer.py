@@ -49,6 +49,19 @@ FUZZ_WORKLOADS = (
     "pcap-replay",
 )
 
+#: Fault profiles the generator draws from (must all be registered);
+#: shrinking walks toward no faults at all.
+FUZZ_FAULT_PROFILES = (
+    "link-flap",
+    "lossy-links",
+    "jittery-links",
+    "backend-churn",
+    "rule-burst",
+    "threshold-flap",
+    "park-drain",
+    "chaos-mix",
+)
+
 #: How often the (costlier) determinism relation runs: every Nth scenario.
 DETERMINISM_EVERY = 5
 
@@ -91,6 +104,12 @@ def generate_run(rng: random.Random, index: int) -> RunSpec:
             params["expiry_threshold"] = rng.choice([1, 2, 5, 10])
         if rng.random() < 0.3:
             params["burst_size"] = rng.choice([4, 8, 16])
+        # The chaos dimension: control-plane churn and link degradation
+        # during the run, exercising cache invalidation and parking-slot
+        # reclamation under load (the riskiest paths the static fuzz
+        # space never touched).
+        if rng.random() < 0.4:
+            params["faults"] = rng.choice(FUZZ_FAULT_PROFILES)
     elif kind == "fixed_size_40ge":
         params["chain_name"] = rng.choice(["firewall", "nat", "fw_nat"])
         params["packet_size"] = rng.choice([128, 256, 512, 1024, 1514])
@@ -131,6 +150,8 @@ def descriptor_size(run: RunSpec) -> float:
         size += float(CHAIN_COMPLEXITY.index(chain)) + 1.0
     if params.get("workload", CANONICAL_WORKLOAD) != CANONICAL_WORKLOAD:
         size += 2.0
+    if "faults" in params:
+        size += 3.0
     return size
 
 
@@ -229,6 +250,10 @@ def _shrink_candidates(run: RunSpec) -> Iterator[RunSpec]:
             yield with_params(chain=simpler)
     if params.get("workload") not in (None, CANONICAL_WORKLOAD):
         yield with_params(workload=CANONICAL_WORKLOAD)
+    if "faults" in params:
+        # A failure that persists without its chaos schedule is a plain
+        # bug; one that needs the schedule keeps it in the repro.
+        yield with_params(faults=None)
     rate = params.get("send_rate_gbps")
     if rate is not None and rate / 2.0 >= MIN_RATE_GBPS:
         yield with_params(send_rate_gbps=rate / 2.0)

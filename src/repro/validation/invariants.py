@@ -103,10 +103,18 @@ class PacketConservation(Invariant):
     """Every generated frame is delivered or dropped by an accounted path.
 
     After the drain:
-    ``sent == received + link_drops + switch_drops + server_overflow +
+    ``sent == received + link_buffer_drops + link_fault_drops +
+    switch_drops + server_overflow +
     (chain_dropped - explicit_drop_notifications)`` — chain drops that
     produced an Explicit-Drop notification come back to the generator
-    and are counted as received.
+    and are counted as received.  Link losses are split by mechanism:
+    egress-buffer overflows (the organic path) versus injected faults
+    (downed links and loss windows, attributed by the fault counters the
+    chaos engine maintains), so a fault schedule can never be used to
+    explain away an unaccounted loss.
+
+    Per-direction consistency is also asserted: every frame a direction
+    accepted must have been delivered once the loop is drained.
     """
 
     name = "packet-conservation"
@@ -124,12 +132,28 @@ class PacketConservation(Invariant):
                 )
             ]
         topology = obs.topology
-        sent = received = link_drops = overflow = vanished = in_server = 0
+        violations: List[Violation] = []
+        sent = received = buffer_drops = fault_drops = 0
+        overflow = vanished = in_server = 0
         for attachment in topology.attachments:
             sent += attachment.pktgen.packets_sent
             received += attachment.pktgen.packets_received
-            link_drops += attachment.server_link.total_drops()
-            link_drops += sum(link.total_drops() for link in attachment.gen_links)
+            for link in [attachment.server_link] + list(attachment.gen_links):
+                buffer_drops += link.buffer_drops()
+                fault_drops += link.fault_drops()
+                for stats in link.direction_counters():
+                    if stats.frames_sent != stats.frames_delivered:
+                        violations.append(
+                            self._violation(
+                                obs,
+                                f"link {link.name!r}: {stats.frames_sent} frames "
+                                f"accepted but {stats.frames_delivered} delivered "
+                                "after the drain",
+                                link=link.name,
+                                frames_sent=stats.frames_sent,
+                                frames_delivered=stats.frames_delivered,
+                            )
+                        )
             overflow += attachment.server.overflow_drops
             vanished += (
                 attachment.server.chain_dropped_packets
@@ -137,23 +161,27 @@ class PacketConservation(Invariant):
             )
             in_server += attachment.server.queue_occupancy
         switch_drops = topology.switch.packets_dropped
-        accounted = received + link_drops + switch_drops + overflow + vanished + in_server
+        accounted = (
+            received + buffer_drops + fault_drops + switch_drops
+            + overflow + vanished + in_server
+        )
         if sent != accounted:
-            return [
+            violations.append(
                 self._violation(
                     obs,
                     f"{sent} packets sent but {accounted} accounted for "
                     f"(delta {sent - accounted})",
                     sent=sent,
                     received=received,
-                    link_drops=link_drops,
+                    link_buffer_drops=buffer_drops,
+                    link_fault_drops=fault_drops,
                     switch_drops=switch_drops,
                     server_overflow=overflow,
                     chain_vanished=vanished,
                     in_server=in_server,
                 )
-            ]
-        return []
+            )
+        return violations
 
 
 class GoodputBound(Invariant):
@@ -364,6 +392,152 @@ class ParkingSlotLeak(Invariant):
         return violations
 
 
+class NoOrphanedPayload(Invariant):
+    """Churn may drain parking slots, but never orphan a payload.
+
+    Two ways a churn event can orphan a payload, both checked after the
+    drain:
+
+    * **vanished payload** — a metadata slot still *occupied* whose
+      payload blocks are all empty: the owner's bytes disappeared while
+      the slot claims to hold them (a drain that cleared registers but
+      forgot the metadata, or vice versa).  The reverse state — stale
+      bytes under a *free* slot — is legitimate dataplane residue: an
+      Explicit Drop reclaims the metadata slot without spending stateful
+      accesses on registers the next claim overwrites anyway.
+    * **unaccounted drain** — a fault-injection ``park_drain`` freed
+      slots without recording them as evictions, silently shrinking the
+      ``splits - merges - explicit_drops - evictions`` identity (the
+      packet whose payload was drained would then fail the Merge with
+      nobody owning the loss).
+
+    The first check scans every slot of every binding's table; the
+    second compares the injector's drained-slot counts against the
+    dataplane eviction counters.
+    """
+
+    name = "no-orphaned-payload"
+
+    def check(self, obs: RunObservation) -> List[Violation]:
+        program = obs.program
+        if not isinstance(program, PayloadParkProgram) or not obs.drained:
+            return []
+        violations: List[Violation] = []
+        for name, table in program.lookup_tables.items():
+            for index in range(table.entries):
+                if not table.peek_metadata(index).occupied:
+                    continue
+                if not any(array.peek(index) for array in table.block_arrays):
+                    violations.append(
+                        self._violation(
+                            obs,
+                            f"binding {name!r} slot {index}: metadata says occupied "
+                            "but every payload block is empty (payload vanished "
+                            "under its owner)",
+                            binding=name,
+                            slot=index,
+                        )
+                    )
+        injector = getattr(obs.topology, "fault_injector", None)
+        if injector is not None:
+            for name, drained in getattr(injector, "slots_drained", {}).items():
+                evictions = program.counters_for(name).evictions
+                if evictions < drained:
+                    violations.append(
+                        self._violation(
+                            obs,
+                            f"binding {name!r}: control plane drained {drained} "
+                            f"slot(s) but only {evictions} eviction(s) were "
+                            "accounted",
+                            binding=name,
+                            slots_drained=drained,
+                            evictions=evictions,
+                        )
+                    )
+        return violations
+
+
+class NfStateConsistency(Invariant):
+    """Fast-path NF caches must agree with the NFs' live configuration.
+
+    Control-plane churn (backend drains, rule bursts) invalidates the
+    Maglev per-flow memo and the firewall verdict memo; a missed
+    invalidation silently pins flows to removed backends or replays
+    stale verdicts.  After the run, every cached Maglev entry must map
+    to a backend still in the pool *and* match a fresh walk of the
+    current lookup table; a bounded sample of firewall verdicts is
+    re-derived against the current ACL.  (This is the invariant that
+    catches a `remove_backend` that forgets to drop the flow cache.)
+    """
+
+    name = "nf-state-consistency"
+
+    #: Bound on re-derived cache entries per NF (cost control).
+    SAMPLE = 512
+
+    def check(self, obs: RunObservation) -> List[Violation]:
+        violations: List[Violation] = []
+        for attachment in obs.topology.attachments:
+            for nf in attachment.server.model.chain:
+                violations.extend(self._check_maglev(obs, nf))
+                violations.extend(self._check_firewall(obs, nf))
+        return violations
+
+    def _check_maglev(self, obs: RunObservation, nf) -> List[Violation]:
+        cache = getattr(nf, "_backend_cache", None)
+        if not cache or not hasattr(nf, "lookup_table"):
+            return []
+        current = {id(backend) for backend in nf.backends}
+        violations: List[Violation] = []
+        for flow, backend in list(cache.items())[: self.SAMPLE]:
+            if id(backend) not in current:
+                violations.append(
+                    self._violation(
+                        obs,
+                        f"{nf.name}: cached flow {flow} is pinned to backend "
+                        f"{backend.name!r}, which left the pool (stale cache "
+                        "after churn)",
+                        nf=nf.name,
+                        backend=backend.name,
+                    )
+                )
+                continue
+            fresh = nf.backends[nf.lookup_table[flow.stable_hash() % nf.table_size]]
+            if fresh is not backend:
+                violations.append(
+                    self._violation(
+                        obs,
+                        f"{nf.name}: cached flow {flow} maps to {backend.name!r} "
+                        f"but the current Maglev table chooses {fresh.name!r}",
+                        nf=nf.name,
+                        cached=backend.name,
+                        fresh=fresh.name,
+                    )
+                )
+        return violations
+
+    def _check_firewall(self, obs: RunObservation, nf) -> List[Violation]:
+        cache = getattr(nf, "_verdict_cache", None)
+        if not cache or not hasattr(nf, "rules"):
+            return []
+        violations: List[Violation] = []
+        for (src_value, dst_port), cached in list(cache.items())[: self.SAMPLE]:
+            fresh = nf._probe_compiled(src_value, dst_port)
+            if fresh != cached:
+                violations.append(
+                    self._violation(
+                        obs,
+                        f"{nf.name}: memoized verdict for (src={src_value}, "
+                        f"dport={dst_port}) is {cached}, but the current ACL "
+                        f"yields {fresh} (stale cache after rule churn)",
+                        nf=nf.name,
+                        src=src_value,
+                        dst_port=dst_port,
+                    )
+                )
+        return violations
+
+
 #: The invariants every validated run checks unless overridden.
 DEFAULT_INVARIANTS = (
     PacketConservation(),
@@ -371,4 +545,6 @@ DEFAULT_INVARIANTS = (
     LatencyCausality(),
     RegisterBounds(),
     ParkingSlotLeak(),
+    NoOrphanedPayload(),
+    NfStateConsistency(),
 )

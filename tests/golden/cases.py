@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.experiments import (
+    chaos,
     fig06_packet_size_cdf,
     fig07_goodput_latency,
     fig08_fixed_sizes,
@@ -75,4 +76,10 @@ GOLDEN_CASES: Dict[str, Callable[[], object]] = {
         rates_gbps=(20.0, 36.0), runner=_runner(0.05)
     ),
     "table1": table1_resources.run,
+    # The canonical fault scenario: chaos profiles must reproduce
+    # bit-identically across the fast and reference paths (mid-run cache
+    # invalidation, Maglev rebuilds and parking-slot drains included).
+    "chaos": lambda: chaos.run(
+        profiles=(None, "link-flap", "chaos-mix"), runner=_runner(0.1)
+    ),
 }

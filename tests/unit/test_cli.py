@@ -37,7 +37,9 @@ class TestCli:
         assert args.rate == 8.5
 
     def test_registry_covers_every_figure_and_table(self):
-        expected = {f"fig{number:02d}" for number in range(6, 17)} | {"table1", "equivalence"}
+        expected = {f"fig{number:02d}" for number in range(6, 17)} | {
+            "table1", "equivalence", "chaos",
+        }
         assert expected == set(EXPERIMENTS)
 
     def test_json_runners_cover_every_experiment(self):
@@ -188,4 +190,57 @@ class TestWorkloadCli:
 
     def test_workload_without_subcommand_shows_help(self, capsys):
         assert main(["workload"]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestFaultsCli:
+    def test_list_prints_every_profile(self, capsys):
+        from repro.faults import fault_profile_names
+
+        assert main(["faults", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in fault_profile_names():
+            assert name in output
+
+    def test_list_names_is_plain(self, capsys):
+        from repro.faults import fault_profile_names
+
+        assert main(["faults", "list", "--names"]) == 0
+        assert capsys.readouterr().out.strip().splitlines() == fault_profile_names()
+
+    def test_describe_shows_events(self, capsys):
+        assert main(["faults", "describe", "link-flap"]) == 0
+        output = capsys.readouterr().out
+        assert "link_down" in output and "description" in output
+
+    def test_preview_prints_timeline(self, capsys):
+        assert main(["faults", "preview", "chaos-mix", "--horizon-us", "6000"]) == 0
+        output = capsys.readouterr().out
+        assert "at_us" in output and "backend_churn" in output
+
+    def test_preview_json_is_seed_reproducible(self, capsys):
+        argv = ["faults", "preview", "lossy-links", "--horizon-us", "6000",
+                "--seed", "3", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert first["events"], "preview materialized no events"
+        assert all(event["kind"] == "link_loss" for event in first["events"])
+
+    def test_preview_unknown_profile_errors(self, capsys):
+        assert main(["faults", "preview", "nope"]) == 2
+        assert "unknown fault profile" in capsys.readouterr().err
+
+    def test_preview_rejects_nonpositive_horizon(self, capsys):
+        assert main(["faults", "preview", "link-flap", "--horizon-us", "0"]) == 2
+        assert "--horizon-us" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_fault_profile(self, capsys):
+        assert main(["run", "table1", "--faults", "nope"]) == 2
+        assert "unknown fault profile" in capsys.readouterr().err
+
+    def test_faults_without_subcommand_shows_help(self, capsys):
+        assert main(["faults"]) == 1
         assert "usage" in capsys.readouterr().out.lower()

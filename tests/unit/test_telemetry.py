@@ -49,6 +49,94 @@ class TestLatencyRecorder:
         assert set(summary) == {"mean_us", "p50_us", "p99_us", "max_us", "jitter_us", "samples"}
 
 
+class TestLatencyEdgeCases:
+    """Percentile/jitter behaviour at the boundaries of the sample space."""
+
+    def test_empty_recorder_is_all_zero(self):
+        recorder = LatencyRecorder()
+        assert recorder.count == 0
+        assert recorder.max_us() == 0.0
+        assert recorder.jitter_us() == 0.0
+        assert recorder.percentile_us(0.001) == 0.0
+        assert recorder.percentile_us(100) == 0.0
+        assert recorder.summary() == {
+            "mean_us": 0.0, "p50_us": 0.0, "p99_us": 0.0,
+            "max_us": 0.0, "jitter_us": 0.0, "samples": 0.0,
+        }
+
+    def test_single_sample_dominates_every_percentile(self):
+        recorder = LatencyRecorder()
+        recorder.record(7_000)
+        for percentile in (0.1, 1, 50, 99, 99.999, 100):
+            assert recorder.percentile_us(percentile) == pytest.approx(7.0)
+        assert recorder.mean_us() == recorder.max_us() == pytest.approx(7.0)
+        assert recorder.jitter_us() == 0.0
+
+    def test_zero_latency_sample_is_legal(self):
+        recorder = LatencyRecorder()
+        recorder.record(0)
+        assert recorder.count == 1
+        assert recorder.mean_us() == 0.0
+
+    def test_duplicate_timestamps_collapse_percentile_spread(self):
+        # Same-timestamp bursts produce runs of identical latencies; the
+        # nearest-rank percentiles must sit exactly on the duplicate
+        # value with zero spread, not interpolate around it.
+        recorder = LatencyRecorder()
+        for _ in range(99):
+            recorder.record(5_000)
+        recorder.record(50_000)
+        assert recorder.percentile_us(50) == pytest.approx(5.0)
+        assert recorder.percentile_us(99) == pytest.approx(5.0)
+        assert recorder.percentile_us(99.5) == pytest.approx(50.0)
+        assert recorder.percentile_us(100) == pytest.approx(50.0)
+
+    def test_percentile_bounds_are_enforced(self):
+        recorder = LatencyRecorder()
+        recorder.record(1_000)
+        for bad in (0, -5, 100.1):
+            with pytest.raises(ValueError):
+                recorder.percentile_us(bad)
+
+    def test_since_boundaries(self):
+        recorder = LatencyRecorder()
+        for value in (1_000, 2_000, 3_000):
+            recorder.record(value)
+        assert recorder.since(0).count == 3
+        assert recorder.since(3).count == 0
+        assert recorder.since(3).mean_us() == 0.0
+        assert recorder.since(99).count == 0  # beyond the end is empty, not an error
+
+    def test_since_view_shares_no_future_samples(self):
+        recorder = LatencyRecorder()
+        recorder.record(1_000)
+        view = recorder.since(1)
+        recorder.record(9_000)
+        assert view.count == 0  # the view snapshot does not grow
+
+
+class TestGoodputWindowBoundaries:
+    """gbps() and gain math at degenerate windows and baselines."""
+
+    def test_zero_and_negative_windows_yield_zero(self):
+        assert gbps(1_000, 0) == 0.0
+        assert gbps(1_000, -5) == 0.0
+
+    def test_zero_bytes_over_any_window(self):
+        assert gbps(0, 1) == 0.0
+        assert gbps(0, 10**12) == 0.0
+
+    def test_sub_nanosecond_window_is_well_defined(self):
+        assert gbps(1, 0.5) == pytest.approx(16.0)
+
+    def test_gain_and_savings_with_degenerate_baselines(self):
+        assert goodput_gain_percent(5.0, -1.0) == 0.0
+        assert goodput_gain_percent(0.0, 2.0) == pytest.approx(-100.0)
+        assert savings_percent(-1.0, 5.0) == 0.0
+        assert savings_percent(10.0, 0.0) == pytest.approx(100.0)
+        assert savings_percent(10.0, 12.0) == pytest.approx(-20.0)
+
+
 class TestGoodputMath:
     def test_gbps_conversion(self):
         assert gbps(125, 1_000) == pytest.approx(1.0)
@@ -110,3 +198,30 @@ class TestReports:
 
     def test_render_table_empty(self):
         assert render_table([]) == "(no data)"
+
+    def test_drop_rate_with_nothing_sent(self):
+        report = self._report(packets_sent=0, packets_dropped=0)
+        assert report.drop_rate == 0.0
+        assert report.healthy
+
+    def test_deployment_as_row_is_flat_and_rounded(self):
+        row = self._report(avg_latency_us=30.123456).as_row()
+        assert row["avg_latency_us"] == 30.12
+        assert row["healthy"] is True
+        assert set(row) >= {"deployment", "send_rate_gbps", "goodput_gbps",
+                            "drop_rate", "premature_evictions"}
+
+    def test_latency_win_percent_degenerate_baseline(self):
+        comparison = ComparisonReport(
+            baseline=self._report(avg_latency_us=0.0),
+            payloadpark=self._report(deployment="payloadpark", avg_latency_us=5.0),
+        )
+        assert comparison.latency_win_percent == 0.0
+
+    def test_render_table_with_explicit_columns_fills_missing_cells(self):
+        text = render_table(
+            [{"a": 1}, {"b": 2}], columns=["a", "b"]
+        )
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert len(lines) == 4  # header, separator, two rows

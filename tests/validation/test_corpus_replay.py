@@ -13,6 +13,7 @@ from repro.validation.corpus import (
     load_entry,
     replay_corpus,
     run_spec_from_entry,
+    validate_entry_names,
     write_entry,
 )
 from repro.validation.fuzzer import FuzzFailure
@@ -80,6 +81,55 @@ class TestCorpusEntries:
         assert corpus_entries(tmp_path / "absent") == []
         summary = replay_corpus(tmp_path / "absent")
         assert summary == {"entries": 0, "failing": 0, "results": []}
+
+
+class TestStaleCorpusEntries:
+    """Registries evolve; replays of stale entries must fail actionably."""
+
+    def _write(self, tmp_path, entry):
+        path = tmp_path / "repro-stale.json"
+        path.write_text(json.dumps(entry))
+        return path
+
+    def test_stale_workload_name_fails_with_a_clear_message(self, tmp_path):
+        path = self._write(tmp_path, {
+            "scenario": "workload",
+            "params": {"workload": "enterprise-poission-typo", "seed": 1,
+                       "duration_us": 400.0, "warmup_us": 100.0},
+        })
+        with pytest.raises(ValueError) as excinfo:
+            replay_corpus(tmp_path)
+        message = str(excinfo.value)
+        assert "repro-stale.json" in message
+        assert "enterprise-poission-typo" in message
+        assert "no longer registered" in message
+        assert "re-record" in message
+
+    def test_stale_scenario_name_fails_with_a_clear_message(self, tmp_path):
+        path = self._write(tmp_path, {
+            "scenario": "workload_v1_renamed",
+            "params": {"seed": 1},
+        })
+        with pytest.raises(ValueError, match="workload_v1_renamed"):
+            replay_corpus(tmp_path)
+        # The message is actionable, not a bare registry KeyError.
+        with pytest.raises(ValueError, match="no longer registered"):
+            validate_entry_names(load_entry(path), source=path)
+
+    def test_stale_fault_profile_fails_with_a_clear_message(self, tmp_path):
+        self._write(tmp_path, {
+            "scenario": "workload",
+            "params": {"workload": "enterprise-poisson", "seed": 1,
+                       "faults": "retired-profile"},
+        })
+        with pytest.raises(ValueError, match="fault profile 'retired-profile'"):
+            replay_corpus(tmp_path)
+
+    def test_current_names_validate_clean(self):
+        validate_entry_names({
+            "scenario": "workload",
+            "params": {"workload": "enterprise-poisson", "faults": "chaos-mix"},
+        })
 
 
 @pytest.mark.validation
