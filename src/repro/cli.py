@@ -21,6 +21,12 @@ Usage::
     python -m repro validate run --scenario workload -p workload=bursty-mmpp
     python -m repro validate fuzz --budget 30s --seed 0
     python -m repro validate replay          # re-run the shrunk-repro corpus
+    python -m repro observe run --faults link-flap --out observations/
+    python -m repro observe trace --format chrome   # chrome://tracing export
+    python -m repro observe profile          # wall-time per engine stage
+    python -m repro run chaos --trace --metrics     # figures with the plane on
+    python -m repro bench --quick --obs-check       # observability overhead gate
+    python -m repro --log-level debug run fig07     # verbose stderr diagnostics
 
 The ``run``/``quickstart`` commands are thin wrappers over the modules in
 :mod:`repro.experiments`; ``campaign`` drives the
@@ -33,6 +39,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import logging
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -54,6 +61,36 @@ from repro.experiments import (
     table1_resources,
 )
 from repro.experiments.runner import default_seed
+
+#: Every repro logger hangs off the ``repro`` root name; the CLI installs
+#: one stderr handler on it so library code logs structured diagnostics
+#: without polluting stdout (which carries the machine-readable results).
+logger = logging.getLogger("repro.cli")
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def configure_logging(level_name: str = "info") -> None:
+    """Install the package-wide stderr log handler at *level_name*.
+
+    Replaces any previous handler on the ``repro`` logger (rather than
+    appending), so repeated CLI invocations in one process — the test
+    suite, notebooks — neither duplicate output nor keep writing to a
+    stale stream.
+    """
+    if level_name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level_name!r}; expected one of {LOG_LEVELS}"
+        )
+    root = logging.getLogger("repro")
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    root.handlers[:] = [handler]
+    root.setLevel(getattr(logging, level_name.upper()))
+    root.propagate = False
+
 
 #: Experiment name → (description, main-function) registry.
 EXPERIMENTS: Dict[str, tuple] = {
@@ -98,6 +135,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PayloadPark reproduction: regenerate the paper's figures and tables.",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug-level diagnostics on stderr (same as --log-level debug)",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="info",
+        help="stderr diagnostic verbosity for every subcommand (default info)",
+    )
     subparsers = parser.add_subparsers(dest="command")
 
     subparsers.add_parser("list", help="list available experiments")
@@ -125,6 +170,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="PROFILE",
         help="inject a fault profile into every scenario the experiment "
              "builds (see 'repro faults list')",
+    )
+    run_parser.add_argument(
+        "--metrics", action="store_true",
+        help="sample time-series metrics during every run the experiment "
+             "performs and export them under --obs-dir",
+    )
+    run_parser.add_argument(
+        "--trace", action="store_true",
+        help="record packet-lifecycle traces (JSONL + Chrome trace-event) "
+             "during every run and export them under --obs-dir",
+    )
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="attribute wall-time to engine stages during every run and "
+             "export the reports under --obs-dir",
+    )
+    run_parser.add_argument(
+        "--obs-dir", default="observations",
+        help="directory for --metrics/--trace/--profile exports "
+             "(default observations/)",
     )
 
     quick_parser = subparsers.add_parser(
@@ -381,6 +446,110 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--json", action="store_true", help="emit the measurement as JSON"
     )
+    bench_parser.add_argument(
+        "--obs-check", action="store_true",
+        help="also measure observability-plane overhead and fail when the "
+             "disabled plane costs more than the budget (see --obs-tolerance)",
+    )
+    bench_parser.add_argument(
+        "--obs-tolerance", type=float, default=None,
+        help="allowed disabled-observability throughput loss for --obs-check "
+             "(default 0.02)",
+    )
+    bench_parser.add_argument(
+        "--no-artifact", action="store_true",
+        help="do not write benchmarks/obs_overhead.json or append to "
+             "benchmarks/bench_history.jsonl",
+    )
+
+    observe_parser = subparsers.add_parser(
+        "observe",
+        help="observability plane: metrics time-series, packet traces, "
+             "phase profiles",
+    )
+    observe_sub = observe_parser.add_subparsers(dest="observe_command")
+
+    def add_observe_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scenario", default="fw_nat_lb_10ge",
+            help="registry scenario name (default fw_nat_lb_10ge; see "
+                 "repro.orchestrator.spec.SCENARIO_REGISTRY)",
+        )
+        sub.add_argument(
+            "-p", "--param", action="append", default=[], metavar="KEY=VALUE",
+            help="scenario parameter override (repeatable; values parsed as JSON)",
+        )
+        sub.add_argument(
+            "--deployment", choices=("both", "baseline", "payloadpark"),
+            default="payloadpark",
+            help="which deployment(s) to run (default payloadpark)",
+        )
+        sub.add_argument(
+            "--faults", default=None, metavar="PROFILE",
+            help="inject a fault profile (see 'repro faults list')",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=None, help="override the scenario seed"
+        )
+        sub.add_argument(
+            "--time-scale", type=float, default=1.0,
+            help="simulated-duration multiplier (default 1.0)",
+        )
+        sub.add_argument(
+            "--sample-every", type=int, default=None, metavar="N",
+            help="trace every Nth generated packet (default 1 = all)",
+        )
+        sub.add_argument(
+            "--interval-us", type=float, default=None,
+            help="metrics sampling interval in simulated microseconds "
+                 "(default 50)",
+        )
+
+    observe_run = observe_sub.add_parser(
+        "run",
+        help="run one scenario with the full plane armed and export "
+             "metrics + traces + profile",
+    )
+    add_observe_common(observe_run)
+    observe_run.add_argument(
+        "--out", default="observations",
+        help="export directory (default observations/)",
+    )
+    observe_run.add_argument(
+        "--json", action="store_true", help="emit the run summaries as JSON"
+    )
+
+    observe_metrics = observe_sub.add_parser(
+        "metrics", help="run one scenario and emit its metrics export"
+    )
+    add_observe_common(observe_metrics)
+    observe_metrics.add_argument(
+        "--out", default=None, help="write to this file instead of stdout"
+    )
+
+    observe_trace = observe_sub.add_parser(
+        "trace", help="run one scenario and emit its packet-lifecycle trace"
+    )
+    add_observe_common(observe_trace)
+    observe_trace.add_argument(
+        "--format", choices=("jsonl", "chrome"), default="jsonl",
+        help="trace output format (default jsonl; chrome loads in "
+             "chrome://tracing / Perfetto)",
+    )
+    observe_trace.add_argument(
+        "--out", default=None, help="write to this file instead of stdout"
+    )
+
+    observe_profile = observe_sub.add_parser(
+        "profile", help="run one scenario and emit its phase-profiler report"
+    )
+    add_observe_common(observe_profile)
+    observe_profile.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    observe_profile.add_argument(
+        "--out", default=None, help="write the JSON report to this file too"
+    )
     return parser
 
 
@@ -391,6 +560,8 @@ def _run_experiment(
     slow_path: bool = False,
     time_scale: Optional[float] = None,
     faults: Optional[str] = None,
+    observe=None,
+    obs_dir: Optional[str] = None,
 ) -> int:
     """Execute one experiment, optionally as JSON and/or with overrides."""
     from contextlib import ExitStack
@@ -401,6 +572,8 @@ def _run_experiment(
         default_time_scale,
     )
 
+    payload = None
+    obs_sink = None
     with ExitStack() as stack:
         if seed is not None:
             stack.enter_context(default_seed(seed))
@@ -410,18 +583,50 @@ def _run_experiment(
             stack.enter_context(default_time_scale(time_scale))
         if faults is not None:
             stack.enter_context(default_faults(faults))
+        if observe is not None:
+            from repro.experiments.runner import default_observe
+            from repro.obs.session import ObservationSink, observation_sink
+
+            obs_sink = ObservationSink()
+            stack.enter_context(default_observe(observe))
+            stack.enter_context(observation_sink(obs_sink))
         if not as_json:
             _description, runner = EXPERIMENTS[name]
             runner()
-            return 0
-        runner = JSON_RUNNERS[name]
-        kwargs = {}
-        if seed is not None and "seed" in inspect.signature(runner).parameters:
-            kwargs["seed"] = seed
-        payload = runner(**kwargs)
-    json.dump({"experiment": name, "result": payload}, sys.stdout, indent=2, default=str)
-    print()
+        else:
+            runner = JSON_RUNNERS[name]
+            kwargs = {}
+            if seed is not None and "seed" in inspect.signature(runner).parameters:
+                kwargs["seed"] = seed
+            payload = runner(**kwargs)
+    if obs_sink is not None:
+        _export_observations(obs_sink.observations, Path(obs_dir or "observations"))
+    if as_json:
+        json.dump(
+            {"experiment": name, "result": payload}, sys.stdout, indent=2, default=str
+        )
+        print()
     return 0
+
+
+def _export_observations(observations, out_dir: Path) -> List[Path]:
+    """Write every observation's exports to *out_dir*; log the paths."""
+    from repro.obs.export import observation_stem, write_observation
+
+    written: List[Path] = []
+    for index, observation in enumerate(observations):
+        stem = observation_stem(observation, index)
+        written.extend(write_observation(observation, out_dir, stem))
+    if written:
+        logger.info(
+            "wrote %d observability export(s) for %d run(s) to %s",
+            len(written), len(observations), out_dir,
+        )
+        for path in written:
+            logger.debug("export: %s", path)
+    else:
+        logger.warning("observability was armed but no runs were observed")
+    return written
 
 
 def _bench(args) -> int:
@@ -432,25 +637,205 @@ def _bench(args) -> int:
     time_scale = args.time_scale
     if time_scale is None:
         time_scale = bench.QUICK_TIME_SCALE if args.quick else bench.DEFAULT_TIME_SCALE
+    scenario = args.scenario or bench.DEFAULT_SCENARIO
+    rate = args.rate if args.rate is not None else bench.DEFAULT_RATE_GBPS
     result = bench.run_bench(
-        scenario=args.scenario or bench.DEFAULT_SCENARIO,
-        rate_gbps=args.rate if args.rate is not None else bench.DEFAULT_RATE_GBPS,
-        time_scale=time_scale,
-        repeat=args.repeat,
+        scenario=scenario, rate_gbps=rate, time_scale=time_scale, repeat=args.repeat
     )
+    obs_result = None
+    if args.obs_check:
+        obs_result = bench.run_obs_overhead(
+            scenario=scenario, rate_gbps=rate, time_scale=time_scale,
+            repeat=args.repeat,
+        )
     if args.json:
-        json.dump(result, sys.stdout, indent=2)
+        payload = dict(result)
+        if obs_result is not None:
+            payload["obs_overhead"] = obs_result
+        json.dump(payload, sys.stdout, indent=2)
         print()
     else:
         print(bench.format_result(result))
-    if not args.check:
-        return 0
-    baseline_path = _Path(args.baseline) if args.baseline else None
-    baseline = bench.load_baseline(baseline_path)
-    tolerance = args.tolerance if args.tolerance is not None else bench.DEFAULT_TOLERANCE
-    ok, message = bench.check_result(result, baseline, tolerance=tolerance)
-    print(message, file=sys.stderr)
-    return 0 if ok else 3
+        if obs_result is not None:
+            print(bench.format_obs_overhead(obs_result))
+    if not args.no_artifact:
+        history = bench.append_history(result, kind="fastpath")
+        logger.info("appended fastpath measurement to %s", history)
+        if obs_result is not None:
+            artifact = bench.write_bench_artifact(obs_result, kind="obs_overhead")
+            logger.info("wrote observability-overhead artifact %s", artifact)
+    exit_code = 0
+    if obs_result is not None:
+        obs_tolerance = (
+            args.obs_tolerance if args.obs_tolerance is not None
+            else bench.OBS_OVERHEAD_TOLERANCE
+        )
+        ok, message = bench.check_obs_overhead(obs_result, tolerance=obs_tolerance)
+        (logger.info if ok else logger.error)("%s", message)
+        if not ok:
+            exit_code = 3
+    if args.check:
+        baseline_path = _Path(args.baseline) if args.baseline else None
+        baseline = bench.load_baseline(baseline_path)
+        tolerance = (
+            args.tolerance if args.tolerance is not None else bench.DEFAULT_TOLERANCE
+        )
+        ok, message = bench.check_result(result, baseline, tolerance=tolerance)
+        (logger.info if ok else logger.error)("%s", message)
+        if not ok:
+            exit_code = 3
+    return exit_code
+
+
+# ---------------------------------------------------------------------- #
+# Observe subcommands
+# ---------------------------------------------------------------------- #
+
+
+def _observe_spec(args, metrics: bool, trace: bool, profile: bool):
+    from repro.obs.config import ObserveSpec
+
+    overrides = {"metrics": metrics, "trace": trace, "profile": profile}
+    if args.sample_every is not None:
+        overrides["trace_sample_every"] = args.sample_every
+    if args.interval_us is not None:
+        overrides["sample_interval_us"] = args.interval_us
+    return ObserveSpec(**overrides)
+
+
+def _observe_execute(args, spec) -> list:
+    """Run the requested scenario under *spec*; return the observations."""
+    import dataclasses
+
+    from repro.experiments.runner import DeploymentKind, ExperimentRunner
+    from repro.obs.session import ObservationSink, observation_sink
+    from repro.orchestrator.spec import RunSpec, build_scenario
+
+    run = RunSpec(
+        scenario=args.scenario,
+        params=_parse_params(args.param),
+        time_scale=args.time_scale,
+    )
+    scenario = build_scenario(run)
+    replacements: Dict[str, object] = {"observe": spec}
+    if args.faults is not None:
+        replacements["faults"] = args.faults
+    if args.seed is not None:
+        replacements["seed"] = args.seed
+    scenario = dataclasses.replace(scenario, **replacements)
+    runner = ExperimentRunner(time_scale=args.time_scale)
+    sink = ObservationSink()
+    logger.info(
+        "observing %s (deployment=%s, faults=%s, seed=%d)",
+        args.scenario, args.deployment, args.faults, scenario.seed,
+    )
+    with observation_sink(sink):
+        if args.deployment == "both":
+            runner.compare(scenario)
+        else:
+            runner.run_deployment(scenario, DeploymentKind(args.deployment))
+    return sink.observations
+
+
+def _observe_run(args) -> int:
+    spec = _observe_spec(args, metrics=True, trace=True, profile=True)
+    observations = _observe_execute(args, spec)
+    written = _export_observations(observations, Path(args.out))
+    if args.json:
+        json.dump(
+            {
+                "scenario": args.scenario,
+                "observations": [obs.summary() for obs in observations],
+                "files": [str(path) for path in written],
+            },
+            sys.stdout,
+            indent=2,
+        )
+        print()
+    else:
+        for observation in observations:
+            summary = observation.summary()
+            profile = summary.get("profile") or {}
+            print(
+                f"{observation.deployment}: "
+                f"{summary['metrics']['samples_taken']} metric sample(s), "
+                f"trace {summary['trace']['summary_line']}, "
+                f"top stage {profile.get('top_stage', 'n/a')}"
+            )
+        for path in written:
+            print(f"wrote {path}")
+    return 0
+
+
+def _emit_text(text: str, out: Optional[str]) -> None:
+    if out is None:
+        sys.stdout.write(text)
+        if not text.endswith("\n"):
+            sys.stdout.write("\n")
+    else:
+        Path(out).parent.mkdir(parents=True, exist_ok=True)
+        Path(out).write_text(text, encoding="utf-8")
+        logger.info("wrote %s", out)
+
+
+def _observe_metrics(args) -> int:
+    from repro.obs.schema import validate_metrics
+
+    observations = _observe_execute(
+        args, _observe_spec(args, metrics=True, trace=False, profile=False)
+    )
+    exports = [obs.metrics for obs in observations if obs.metrics is not None]
+    for export in exports:
+        validate_metrics(export)
+    payload = exports[0] if len(exports) == 1 else exports
+    _emit_text(json.dumps(payload, indent=2, sort_keys=True), args.out)
+    return 0
+
+
+def _observe_trace(args) -> int:
+    from repro.obs.schema import validate_chrome_trace, validate_trace_jsonl
+
+    observations = _observe_execute(
+        args, _observe_spec(args, metrics=False, trace=True, profile=False)
+    )
+    chunks = []
+    for observation in observations:
+        if args.format == "chrome":
+            validate_chrome_trace(observation.chrome_trace)
+            chunks.append(json.dumps(observation.chrome_trace, sort_keys=True))
+        else:
+            validate_trace_jsonl(observation.trace_jsonl)
+            chunks.append(observation.trace_jsonl.rstrip("\n"))
+    _emit_text("\n".join(chunks) + "\n", args.out)
+    return 0
+
+
+def _observe_profile(args) -> int:
+    from repro.obs.export import format_profile
+    from repro.obs.schema import validate_profile
+
+    observations = _observe_execute(
+        args, _observe_spec(args, metrics=False, trace=False, profile=True)
+    )
+    reports = [obs.profile for obs in observations if obs.profile is not None]
+    for report in reports:
+        validate_profile(report)
+    if args.out is not None:
+        payload = reports[0] if len(reports) == 1 else reports
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        logger.info("wrote %s", args.out)
+    if args.json:
+        payload = reports[0] if len(reports) == 1 else reports
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        for observation, report in zip(observations, reports):
+            print(f"[{observation.deployment}]")
+            print(format_profile(report))
+    return 0
 
 
 # ---------------------------------------------------------------------- #
@@ -480,7 +865,7 @@ def _campaign_run(args) -> int:
         line = f"[{status}] {record['scenario']}({point}) {record['wall_time_s']:.2f}s"
         if status != "ok":
             line += f" — {record.get('error', 'unknown error')}"
-        print(line, file=sys.stderr)
+        logger.info("%s", line)
 
     executor = CampaignExecutor(workers=workers, progress=None if args.json else progress)
     summary = executor.run_campaign(campaign, store=store, resume=not args.no_resume)
@@ -566,7 +951,7 @@ def _parse_params(pairs):
 
 def _print_violations(violations) -> None:
     for violation in violations:
-        print(f"  VIOLATION {violation}", file=sys.stderr)
+        logger.warning("VIOLATION %s", violation)
 
 
 def _validate_run(args) -> int:
@@ -638,7 +1023,7 @@ def _validate_fuzz(args) -> int:
     def progress(index, run, violations):
         point = ", ".join(f"{k}={v}" for k, v in sorted(run.params.items()))
         status = f"FAIL({len(violations)})" if violations else "ok"
-        print(f"[{status}] #{index} {run.scenario}({point})", file=sys.stderr)
+        logger.info("[%s] #%d %s(%s)", status, index, run.scenario, point)
 
     result = fuzz(
         seed=args.seed,
@@ -813,6 +1198,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging("debug" if args.verbose else args.log_level)
 
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
@@ -822,6 +1208,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
+        observe = None
+        if args.metrics or args.trace or args.profile:
+            from repro.obs.config import ObserveSpec
+
+            observe = ObserveSpec(
+                metrics=args.metrics, trace=args.trace, profile=args.profile
+            )
         try:
             return _run_experiment(
                 args.experiment,
@@ -830,9 +1223,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 slow_path=args.slow_path,
                 time_scale=args.time_scale,
                 faults=args.faults,
+                observe=observe,
+                obs_dir=args.obs_dir,
             )
         except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            logger.error("error: %s", exc)
             return 2
 
     if args.command == "quickstart":
@@ -849,7 +1244,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             return _bench(args)
         except (ValueError, RuntimeError, OSError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            logger.error("error: %s", exc)
             return 2
 
     if args.command == "campaign":
@@ -865,7 +1260,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             return handler(args)
         except (ValueError, RuntimeError, OSError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            logger.error("error: %s", exc)
             return 2
 
     if args.command == "validate":
@@ -881,7 +1276,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             return handler(args)
         except (ValueError, RuntimeError, OSError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            logger.error("error: %s", exc)
             return 2
 
     if args.command == "faults":
@@ -897,7 +1292,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             return handler(args)
         except (ValueError, RuntimeError, OSError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            logger.error("error: %s", exc)
+            return 2
+
+    if args.command == "observe":
+        handlers = {
+            "run": _observe_run,
+            "metrics": _observe_metrics,
+            "trace": _observe_trace,
+            "profile": _observe_profile,
+        }
+        handler = handlers.get(args.observe_command)
+        if handler is None:
+            parser.print_help()
+            return 1
+        try:
+            return handler(args)
+        except (KeyError, ValueError, RuntimeError, OSError) as exc:
+            logger.error("error: %s", exc)
             return 2
 
     if args.command == "workload":
@@ -913,7 +1325,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             return handler(args)
         except (ValueError, RuntimeError, OSError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            logger.error("error: %s", exc)
             return 2
 
     parser.print_help()

@@ -97,6 +97,9 @@ class ControlPlaneManager:
             if isinstance(program, PayloadParkProgram)
             else None
         )
+        #: Flight-recorder hook (repro.obs): drain operations close the
+        #: affected park spans with the ``drained`` outcome.
+        self.obs_recorder = None
 
     @property
     def is_payloadpark(self) -> bool:
@@ -158,10 +161,13 @@ class ControlPlaneManager:
             occupied = table.occupied_indices()
             take = math.ceil(len(occupied) * fraction)
             count = 0
+            recorder = self.obs_recorder
             for index in occupied[:take]:
                 if table.drain_slot(index):
                     program.counters_for(name).evictions += 1
                     count += 1
+                    if recorder is not None:
+                        recorder.slot_drained(name, index)
             drained[name] = count
         program.invalidate_fast_path()
         return drained

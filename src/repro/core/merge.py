@@ -55,6 +55,8 @@ class MergePath:
         self.enb_zero_stage = enb_zero_stage
         self.validate_stage = validate_stage
         self._nf_ports = frozenset((binding.nf_port,))
+        #: Flight-recorder hook (repro.obs); None keeps the path lean.
+        self.obs_recorder = None
 
     # ------------------------------------------------------------------ #
     # Table installation
@@ -176,6 +178,7 @@ class MergePath:
     def _action_validate(self, ctx: PipelinePacket) -> None:
         """Validate the tag, reclaim the slot and flag the payload restore."""
         header = ctx.packet.pp
+        recorder = self.obs_recorder
         if not header.tag_is_valid():
             self.counters.tag_validation_failures += 1
             ctx.drop("payloadpark-tag-corrupt")
@@ -184,6 +187,11 @@ class MergePath:
         result = self.lookup.validate_and_release(ctx, header.tbl_idx, header.clk)
         if not result.valid:
             self.counters.premature_evictions += 1
+            if recorder is not None:
+                recorder.premature_eviction(
+                    self.binding.name, header.tbl_idx,
+                    ctx.packet.meta.get("obs_pkt"),
+                )
             ctx.drop("payloadpark-premature-eviction")
             return
 
@@ -191,6 +199,10 @@ class MergePath:
             # The NF framework told us it dropped the packet: the slot is
             # reclaimed (above) and the notification itself goes no further.
             self.counters.explicit_drops += 1
+            if recorder is not None:
+                recorder.slot_released(
+                    self.binding.name, header.tbl_idx, "explicit-drop"
+                )
             ctx.packet.pp = None
             ctx.drop("payloadpark-explicit-drop")
             return
@@ -200,6 +212,8 @@ class MergePath:
         ctx.meta[META_MERGE_BLOCKS] = {}
         ctx.packet.pp = None
         self.counters.merges += 1
+        if recorder is not None:
+            recorder.slot_merged(self.binding.name, header.tbl_idx)
 
     def _make_load_action(self, slot, array):
         def action(ctx: PipelinePacket) -> None:

@@ -62,6 +62,8 @@ class SplitPath:
         self.tagger_stage = tagger_stage
         self.probe_stage = probe_stage
         self._ingress_ports = frozenset(binding.ingress_ports)
+        #: Flight-recorder hook (repro.obs); None keeps the path lean.
+        self.obs_recorder = None
 
     # ------------------------------------------------------------------ #
     # Table installation
@@ -197,8 +199,11 @@ class SplitPath:
         probe = self.lookup.probe_and_claim(
             ctx, tbl_idx, clk, max_exp=self.config.expiry_threshold
         )
+        recorder = self.obs_recorder
         if probe.evicted:
             self.counters.evictions += 1
+            if recorder is not None:
+                recorder.slot_evicted(self.binding.name, tbl_idx)
         if not probe.claimed:
             self.counters.split_disabled_table_occupied += 1
             packet.pp = PayloadParkHeader.disabled()
@@ -211,6 +216,10 @@ class SplitPath:
             enb=1, op=OP_MERGE, tbl_idx=tbl_idx, clk=clk
         ).seal()
         self.counters.splits += 1
+        if recorder is not None:
+            recorder.payload_parked(
+                self.binding.name, tbl_idx, clk, packet.meta.get("obs_pkt")
+            )
 
     def _make_store_action(self, slot, array):
         def action(ctx: PipelinePacket) -> None:

@@ -19,6 +19,18 @@ class FaultSpecError(ValueError):
     """
 
 
+class ObserveSpecError(ValueError):
+    """An invalid observability specification.
+
+    Raised by :meth:`repro.obs.config.ObserveSpec.from_spec` and the
+    observability plane's validators — unknown spec keys, out-of-range
+    sampling intervals, malformed export schemas — so callers can catch
+    one domain error type.  Subclasses :class:`ValueError`, so
+    pre-existing ``except ValueError`` handlers (the CLI, campaign
+    loaders) keep working.
+    """
+
+
 class WorkloadSpecError(ValueError):
     """An invalid workload/traffic specification.
 

@@ -138,6 +138,38 @@ def default_faults(spec):
         _FAULTS_OVERRIDE = previous
 
 
+#: Active observability override installed by :func:`default_observe`.
+_OBSERVE_OVERRIDE: Optional[object] = None
+
+
+def current_default_observe() -> Optional[object]:
+    """The observe spec newly-built scenarios pick up by default (None = off)."""
+    return _OBSERVE_OVERRIDE
+
+
+@contextmanager
+def default_observe(spec):
+    """Temporarily enable observability on every built scenario.
+
+    The CLI's ``repro run --trace/--metrics/--profile`` flags and the
+    ``repro observe`` commands wrap experiment execution in this context
+    so every scenario inherits the observe spec (a bool, a dict, or an
+    :class:`~repro.obs.config.ObserveSpec`) without threading a
+    parameter through each module.  Validated eagerly so a malformed
+    spec fails before any simulation starts.
+    """
+    from repro.obs.config import ObserveSpec
+
+    ObserveSpec.from_spec(spec)  # validate (raises ObserveSpecError)
+    global _OBSERVE_OVERRIDE
+    previous = _OBSERVE_OVERRIDE
+    _OBSERVE_OVERRIDE = spec
+    try:
+        yield
+    finally:
+        _OBSERVE_OVERRIDE = previous
+
+
 #: Observer installed by :func:`run_observer` (None = no observer).
 _RUN_OBSERVER: Optional["RunObserver"] = None
 
@@ -287,6 +319,14 @@ class ScenarioConfig:
     #: runner materializes it into a
     #: :class:`~repro.faults.injector.FaultInjectorNode` per run.
     faults: Optional[object] = field(default_factory=current_default_faults)
+    #: Optional observability spec (see :mod:`repro.obs`): ``None``/bool,
+    #: an inline dict, or an :class:`~repro.obs.config.ObserveSpec`.
+    #: Plain data for the same picklability reasons as ``faults``; the
+    #: runner materializes it into an
+    #: :class:`~repro.obs.plane.ObservabilityPlane` per deployment run.
+    #: Everything defaults off — the uninstrumented hot path is gated at
+    #: <2% overhead by ``repro bench --obs-check``.
+    observe: Optional[object] = field(default_factory=current_default_observe)
 
     def with_rate(self, rate_gbps: float) -> "ScenarioConfig":
         """A copy of this scenario at a different offered rate.
@@ -540,6 +580,27 @@ class ExperimentRunner:
             )
         )
 
+    @staticmethod
+    def _attach_observability(scenario: ScenarioConfig, topology, program):
+        """Materialize the scenario's observe spec into a plane, if any.
+
+        Imported lazily, like :meth:`_attach_faults` — the observability
+        package layers on top of the runner.  Returns None when every
+        feature is off, which keeps the run on the exact uninstrumented
+        hot path.
+        """
+        if scenario.observe is None:
+            return None
+        from repro.obs.config import ObserveSpec
+        from repro.obs.plane import ObservabilityPlane
+
+        spec = ObserveSpec.from_spec(scenario.observe)
+        if spec is None or not spec.enabled:
+            return None
+        plane = ObservabilityPlane(spec, topology.env)
+        plane.attach(topology, program)
+        return plane
+
     def _execute(
         self,
         scenario: ScenarioConfig,
@@ -553,17 +614,20 @@ class ExperimentRunner:
             raise ValueError("warmup must be shorter than the total duration")
 
         observer = current_run_observer()
+        plane = self._attach_observability(scenario, topology, program)
         if observer is not None:
             observer.on_run_start(scenario, deployment, topology, program)
         topology.start_traffic(duration_ns)
-        topology.run_until(warmup_ns)
+        if plane is not None:
+            plane.start(duration_ns)
+        self._advance(topology, plane, warmup_ns)
         warm_snapshot = topology.snapshot()
         warm_counters = self._pp_counter_snapshot(program)
         warm_latency_counts = {
             attachment.binding.name: attachment.pktgen.latency.count
             for attachment in topology.attachments
         }
-        topology.run_until(duration_ns)
+        self._advance(topology, plane, duration_ns)
         end_snapshot = topology.snapshot()
         end_counters = self._pp_counter_snapshot(program)
 
@@ -586,7 +650,27 @@ class ExperimentRunner:
             )
         if observer is not None:
             observer.on_run_end(scenario, deployment, topology, program, reports)
+        if plane is not None:
+            observation = plane.finalize(scenario, deployment.value, duration_ns)
+            from repro.obs.session import current_observation_sink
+
+            sink = current_observation_sink()
+            if sink is not None:
+                sink.add(observation)
         return reports
+
+    @staticmethod
+    def _advance(topology, plane, horizon_ns: int) -> None:
+        """Run the event loop to *horizon_ns*, under the profiler if armed.
+
+        ``measure_total`` brackets the whole dispatch loop so the profiler
+        can attribute the un-instrumented residue to event dispatch.
+        """
+        if plane is not None and plane.profiler is not None:
+            with plane.profiler.measure_total():
+                topology.run_until(horizon_ns)
+        else:
+            topology.run_until(horizon_ns)
 
     @staticmethod
     def _pp_counter_snapshot(program: SwitchProgram):

@@ -93,6 +93,10 @@ class FaultInjectorNode(Node):
         self._down_epoch: Dict[int, int] = {}
         self._loss_token: Dict[int, int] = {}
         self._jitter_token: Dict[int, int] = {}
+        # Observability hooks (repro.obs): fault applications become
+        # trace annotations and profiled "fault_injection" wall time.
+        self.obs_recorder = None
+        self.obs_profiler = None
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -172,10 +176,26 @@ class FaultInjectorNode(Node):
 
     def apply_event(self, event: FaultEvent) -> None:
         """Apply one event now (normally invoked by the event loop)."""
+        profiler = self.obs_profiler
+        if profiler is None:
+            self._apply(event)
+            return
+        profiler.enter("fault_injection")
+        try:
+            self._apply(event)
+        finally:
+            profiler.exit()
+
+    def _apply(self, event: FaultEvent) -> None:
         handler = getattr(self, f"_apply_{event.kind}")
         handler(event)
         self.events_applied += 1
         self.applied.append((self.env.now, event.kind))
+        recorder = self.obs_recorder
+        if recorder is not None:
+            recorder.fault_applied(
+                event.kind, self.env.now, event.duration_ns, dict(event.params)
+            )
 
     def _apply_link_down(self, event: FaultEvent) -> None:
         links = self._select_links(event.params)

@@ -84,6 +84,8 @@ class _LinkDirection:
         "_loss_rng",
         "_jitter_rng",
         "last_arrival_ns",
+        "obs_recorder",
+        "obs_profiler",
     )
 
     def __init__(
@@ -121,6 +123,10 @@ class _LinkDirection:
         #: arrivals are already strictly increasing (serialization is
         #: serialized through ``next_free_ns``), making the clamp a no-op.
         self.last_arrival_ns = 0
+        # Observability hooks (repro.obs): None keeps the per-frame cost
+        # at one predictable branch each.
+        self.obs_recorder = None
+        self.obs_profiler = None
 
     def serialization_ns(self, nbytes: int) -> int:
         """Time to clock *nbytes* onto the wire at the link rate."""
@@ -137,16 +143,22 @@ class _LinkDirection:
         if not self.up:
             stats.frames_dropped_down += 1
             stats.bytes_dropped_fault += wire_bytes
+            self._record_drop(packet, "link-down")
             return
         if self.loss_probability > 0.0 and self._loss_rng.random() < self.loss_probability:
             stats.frames_dropped_loss += 1
             stats.bytes_dropped_fault += wire_bytes
+            self._record_drop(packet, "link-loss")
             return
         queued = self.queued_bytes + wire_bytes
         if queued > self.buffer_bytes:
             stats.frames_dropped += 1
             stats.bytes_dropped += wire_bytes
+            self._record_drop(packet, "link-buffer-overflow")
             return
+        profiler = self.obs_profiler
+        if profiler is not None:
+            profiler.enter("link_transmit")
         now = self.env.now
         next_free = self.next_free_ns
         start = now if now > next_free else next_free
@@ -185,6 +197,16 @@ class _LinkDirection:
                 (arrival, arrive),
             )
         )
+        if profiler is not None:
+            profiler.exit()
+
+    def _record_drop(self, packet: Packet, reason: str) -> None:
+        """Flight-recorder drop hook (drop branches only, never the fast case)."""
+        recorder = self.obs_recorder
+        if recorder is not None:
+            pkt_id = packet.meta.get("obs_pkt")
+            if pkt_id is not None:
+                recorder.packet_dropped(pkt_id, self.env.now, self.name, reason)
 
     def utilization(self, window_ns: int) -> float:
         """Fraction of *window_ns* the link spent transmitting."""
@@ -287,6 +309,12 @@ class Link:
                 direction._jitter_rng = random.Random((seed * 2 + salt + 1) & 0xFFFFFFFFFFFFFFFF)
             else:
                 direction._jitter_rng = None
+
+    def set_observability(self, recorder=None, profiler=None) -> None:
+        """Install observability hooks on both directions (repro.obs)."""
+        for direction in (self._a_to_b, self._b_to_a):
+            direction.obs_recorder = recorder
+            direction.obs_profiler = profiler
 
     def clear_faults(self) -> None:
         """Return the link to its fault-free state (up, lossless, jitterless)."""

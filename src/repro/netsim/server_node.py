@@ -70,6 +70,9 @@ class NfServerNode(Node):
         self.explicit_drop_notifications = 0
         self.overflow_drops = 0
         self.busy_ns = 0
+        # Observability hooks (repro.obs): None keeps the hot path lean.
+        self.obs_recorder = None
+        self.obs_profiler = None
 
     def invalidate_cost_cache(self) -> None:
         """Recompute the memoized cost model after an NF chain mutation.
@@ -91,9 +94,27 @@ class NfServerNode(Node):
 
     def handle_packet(self, packet: Packet, port: int) -> None:
         """A frame arrived from the switch on the server's NIC port."""
+        profiler = self.obs_profiler
+        if profiler is None:
+            self._receive(packet)
+            return
+        profiler.enter("nf_processing")
+        try:
+            self._receive(packet)
+        finally:
+            profiler.exit()
+
+    def _receive(self, packet: Packet) -> None:
         if self._in_server >= self._buffer_capacity:
             self.nic.note_rx_drop()
             self.overflow_drops += 1
+            recorder = self.obs_recorder
+            if recorder is not None:
+                pkt_id = packet.meta.get("obs_pkt")
+                if pkt_id is not None:
+                    recorder.packet_dropped(
+                        pkt_id, self.env.now, self.name, "server-buffer-overflow"
+                    )
             return
         self._in_server += 1
         self.accepted_packets += 1
@@ -134,11 +155,35 @@ class NfServerNode(Node):
     # ------------------------------------------------------------------ #
 
     def _complete(self, packet: Packet) -> None:
+        profiler = self.obs_profiler
+        if profiler is None:
+            self._complete_now(packet)
+            return
+        profiler.enter("nf_processing")
+        try:
+            self._complete_now(packet)
+        finally:
+            profiler.exit()
+
+    def _complete_now(self, packet: Packet) -> None:
         self._in_server -= 1
         self.processed_packets += 1
         result = self.model.process_packet(packet)
+        recorder = self.obs_recorder
+        if recorder is not None:
+            pkt_id = packet.meta.get("obs_pkt")
+            if pkt_id is not None:
+                recorder.nf_processed(
+                    pkt_id, self.env.now, self.name, result.forwarded
+                )
         if not result.forwarded:
             self.chain_dropped_packets += 1
+            if recorder is not None:
+                pkt_id = packet.meta.get("obs_pkt")
+                if pkt_id is not None:
+                    recorder.packet_dropped(
+                        pkt_id, self.env.now, self.name, "nf-chain-drop"
+                    )
             if (
                 self.model.wants_explicit_drop
                 and packet.pp is not None

@@ -40,20 +40,33 @@ class SwitchNode(Node):
         self.packets_to_nf = 0
         self.drop_reasons: Dict[str, int] = {}
         self._nf_ports = {binding.nf_port for binding in program.bindings}
+        # Observability hooks (repro.obs): None keeps the hot path lean.
+        self.obs_recorder = None
+        self.obs_profiler = None
 
     def handle_packet(self, packet: Packet, port: int) -> None:
         """Run the frame through the dataplane program and forward it."""
         self.packets_in += 1
-        ctx = self.program.process(packet, port)
+        profiler = self.obs_profiler
+        if profiler is None:
+            ctx = self.program.process(packet, port)
+        else:
+            profiler.enter("pipeline_walk")
+            try:
+                ctx = self.program.process(packet, port)
+            finally:
+                profiler.exit()
         if ctx.dropped:
             self.packets_dropped += 1
             self.drop_reasons[ctx.drop_reason] = self.drop_reasons.get(ctx.drop_reason, 0) + 1
+            self._record_drop(packet, ctx.drop_reason)
             return
         if ctx.egress_port is None:
             self.packets_dropped += 1
             self.drop_reasons["no-egress-decision"] = (
                 self.drop_reasons.get("no-egress-decision", 0) + 1
             )
+            self._record_drop(packet, "no-egress-decision")
             return
         egress = ctx.egress_port
         if egress in self._nf_ports:
@@ -69,6 +82,14 @@ class SwitchNode(Node):
             latency += self.program.extra_latency_ns(ctx)
         self.packets_out += 1
         self.env.schedule_in(latency, lambda: self.send_out(egress, packet))
+
+    def _record_drop(self, packet: Packet, reason: str) -> None:
+        """Flight-recorder drop hook (off the hot path's common case)."""
+        recorder = self.obs_recorder
+        if recorder is not None:
+            pkt_id = packet.meta.get("obs_pkt")
+            if pkt_id is not None:
+                recorder.packet_dropped(pkt_id, self.env.now, self.name, reason)
 
     def stats(self) -> Dict[str, float]:
         """Counter snapshot for warm-up-window deltas."""

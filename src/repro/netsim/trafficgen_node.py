@@ -74,6 +74,12 @@ class TrafficGenNode(Node):
         self.packets_received = 0
         self.useful_bytes_received = 0
         self.bytes_received = 0
+        # Observability hooks (repro.obs): all default None so the
+        # uninstrumented hot path pays one predictable branch each.
+        self.obs_recorder = None
+        self.obs_profiler = None
+        self.obs_latency_hist = None
+        self._obs_pkt_index = 0
 
     # ------------------------------------------------------------------ #
     # Generation
@@ -111,9 +117,32 @@ class TrafficGenNode(Node):
         self._port_cursor = (self._port_cursor + 1) % len(self.tx_ports)
         self.packets_sent += 1
         self.bytes_sent += packet.wire_length
+        recorder = self.obs_recorder
+        if recorder is not None:
+            # Deterministic 1-in-N sampling decided at generation time:
+            # the per-generator index depends only on emission order, so
+            # the fast and reference paths follow identical packets.
+            self._obs_pkt_index += 1
+            if self._obs_pkt_index % recorder.sample_every == 0:
+                pkt_id = f"{self.name}#{self._obs_pkt_index}"
+                packet.meta["obs_pkt"] = pkt_id
+                recorder.packet_generated(
+                    pkt_id, self.env.now, port, packet.wire_length
+                )
         self.send_out(port, packet)
 
     def _emit_burst(self) -> None:
+        profiler = self.obs_profiler
+        if profiler is None:
+            self._emit_burst_now()
+            return
+        profiler.enter("traffic_gen")
+        try:
+            self._emit_burst_now()
+        finally:
+            profiler.exit()
+
+    def _emit_burst_now(self) -> None:
         if not self._running:
             return
         if self._stop_at_ns is not None and self.env.now >= self._stop_at_ns:
@@ -197,8 +226,18 @@ class TrafficGenNode(Node):
         self.bytes_received += packet.wire_length
         self.useful_bytes_received += packet.useful_bytes
         tx_ns = packet.meta.get("tx_ns")
+        latency_ns = None
         if tx_ns is not None:
-            self.latency.record(self.env.now - tx_ns)
+            latency_ns = self.env.now - tx_ns
+            self.latency.record(latency_ns)
+            histogram = self.obs_latency_hist
+            if histogram is not None:
+                histogram.observe(latency_ns / 1_000.0)
+        recorder = self.obs_recorder
+        if recorder is not None:
+            pkt_id = packet.meta.get("obs_pkt")
+            if pkt_id is not None:
+                recorder.packet_delivered(pkt_id, self.env.now, latency_ns)
 
     # ------------------------------------------------------------------ #
     # Reporting

@@ -78,6 +78,10 @@ class Firewall(NetworkFunction):
         self._verdict_cache: Optional[dict] = None
         #: Fast-path pre-masked rule list: (mask, masked network, dst_port).
         self._compiled_rules: Optional[list] = None
+        #: Cache efficiency counters (sampled by repro.obs as a hit-ratio
+        #: gauge); plain int bumps, cheap enough to keep unconditional.
+        self.cache_lookups = 0
+        self.cache_hits = 0
 
     def add_rule(self, rule: FirewallRule) -> None:
         """Append an ACL entry (invalidates the fast-path structures)."""
@@ -123,12 +127,15 @@ class Firewall(NetworkFunction):
                 ip.src.value if ip is not None else None,
                 l4.dst_port if l4 is not None else None,
             )
+            self.cache_lookups += 1
             result = cache.get(key)
             if result is None:
                 result = self._probe_compiled(key[0], key[1])
                 if len(cache) >= 65_536:
                     cache.clear()
                 cache[key] = result
+            else:
+                self.cache_hits += 1
             return result
         return self._probe(packet)
 

@@ -86,6 +86,10 @@ class MaglevLoadBalancer(NetworkFunction):
         #: flow (that is its whole point), so the FNV walk over the
         #: 5-tuple can be skipped for flows already mapped.
         self._backend_cache: Optional[Dict[FiveTuple, Backend]] = None
+        #: Cache efficiency counters (sampled by repro.obs as a hit-ratio
+        #: gauge); plain int bumps, cheap enough to keep unconditional.
+        self.cache_lookups = 0
+        self.cache_hits = 0
 
     def enable_fast_path(self, enabled: bool = True) -> None:
         """Memoize the per-flow backend choice (behaviour-preserving)."""
@@ -174,6 +178,7 @@ class MaglevLoadBalancer(NetworkFunction):
         """Return the backend consistently chosen for *flow*."""
         cache = self._backend_cache
         if cache is not None:
+            self.cache_lookups += 1
             backend = cache.get(flow)
             if backend is None:
                 backend = self.backends[
@@ -182,6 +187,8 @@ class MaglevLoadBalancer(NetworkFunction):
                 if len(cache) >= 65_536:
                     cache.clear()
                 cache[flow] = backend
+            else:
+                self.cache_hits += 1
             return backend
         index = self.lookup_table[flow.stable_hash() % self.table_size]
         return self.backends[index]

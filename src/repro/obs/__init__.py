@@ -1,0 +1,53 @@
+"""The observability plane: metrics, flight recording and phase profiling.
+
+Three instruments, all default-off, all wired through the testbed by
+:class:`~repro.obs.plane.ObservabilityPlane` when
+``ScenarioConfig.observe`` enables them:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges,
+  fixed-bucket histograms, and ring-buffer time series sampled
+  periodically off the event loop (SRAM occupancy, park/evict/merge
+  rates, per-link drops, NF cache hit ratios, goodput over time).
+* :class:`~repro.obs.trace.FlightRecorder` — deterministic 1-in-N
+  sampled packet-lifecycle spans, exportable as JSONL and Chrome
+  trace-event JSON; fault windows appear as trace annotations.
+* :class:`~repro.obs.profiler.PhaseProfiler` — wall-time attribution
+  to engine stages (pipeline walk, NF processing, traffic generation,
+  link transmit, fault injection, residual event dispatch).
+
+The disabled path is budgeted at <2% overhead and gated by
+``repro bench --obs-check``.
+"""
+
+from repro.obs.config import ObserveSpec
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.obs.plane import ObservabilityPlane, RunObservation
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.session import (
+    ObservationSink,
+    current_observation_sink,
+    observation_sink,
+)
+from repro.obs.trace import FlightRecorder
+
+__all__ = [
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityPlane",
+    "ObservationSink",
+    "ObserveSpec",
+    "PhaseProfiler",
+    "RunObservation",
+    "TimeSeries",
+    "current_observation_sink",
+    "observation_sink",
+]

@@ -1,0 +1,87 @@
+"""File export for run observations: validated JSON/JSONL artifacts.
+
+The CLI (``repro observe``, ``repro run --trace``) lands every export on
+disk through this module, and every payload is schema-validated *before*
+it is written — a malformed artifact is a bug in the plane, and the
+place to catch it is the producer, not a downstream consumer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.obs import schema as obs_schema
+from repro.obs.plane import RunObservation
+
+
+def observation_stem(observation: RunObservation, index: int = 0) -> str:
+    """A filesystem-safe stem identifying one observation's artifacts."""
+    scenario = "".join(
+        ch if ch.isalnum() or ch in "-_" else "-" for ch in observation.scenario
+    )
+    return f"{scenario}-{index:03d}-{observation.deployment}"
+
+
+def write_observation(
+    observation: RunObservation,
+    out_dir: Path,
+    stem: str,
+) -> List[Path]:
+    """Write every export *observation* carries into *out_dir*.
+
+    Emits ``<stem>.metrics.json``, ``<stem>.trace.jsonl``,
+    ``<stem>.trace.chrome.json`` and ``<stem>.profile.json`` for the
+    parts that are present, validating each against its schema first.
+    Returns the paths written.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    if observation.metrics is not None:
+        obs_schema.validate_metrics(observation.metrics)
+        path = out_dir / f"{stem}.metrics.json"
+        path.write_text(
+            json.dumps(observation.metrics, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    if observation.trace_jsonl is not None:
+        obs_schema.validate_trace_jsonl(observation.trace_jsonl)
+        path = out_dir / f"{stem}.trace.jsonl"
+        path.write_text(observation.trace_jsonl, encoding="utf-8")
+        written.append(path)
+    if observation.chrome_trace is not None:
+        obs_schema.validate_chrome_trace(observation.chrome_trace)
+        path = out_dir / f"{stem}.trace.chrome.json"
+        path.write_text(
+            json.dumps(observation.chrome_trace, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    if observation.profile is not None:
+        obs_schema.validate_profile(observation.profile)
+        path = out_dir / f"{stem}.profile.json"
+        path.write_text(
+            json.dumps(observation.profile, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    return written
+
+
+def format_profile(profile: Dict[str, object]) -> str:
+    """Human-readable stage-attribution table for one profiler report."""
+    lines = [
+        f"total wall time: {float(profile['total_wall_ns']) / 1e6:.2f} ms  "
+        f"(measured {float(profile['measured_fraction']):.1%}, "
+        f"attributed {float(profile['attributed_fraction']):.1%})",
+        f"{'stage':<18} {'wall ms':>10} {'events':>10} {'fraction':>9}",
+    ]
+    for stage in profile["stages"]:
+        lines.append(
+            f"{stage['name']:<18} {float(stage['wall_ns']) / 1e6:>10.2f} "
+            f"{stage['events']:>10} {float(stage['fraction']):>8.1%}"
+        )
+    return "\n".join(lines)

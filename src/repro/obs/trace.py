@@ -1,0 +1,270 @@
+"""The flight recorder: sampled packet-lifecycle spans and fault windows.
+
+The recorder follows every N-th packet each traffic generator emits
+(deterministic 1-in-N sampling decided at generation time, so the fast
+and reference simulation paths sample the *same* packets) through its
+whole life: generate → park → evict/merge/drain → NF chain →
+deliver/drop.  Park events open a span keyed by ``(binding, slot)``
+that the matching evict/merge/drain closes, which is how a
+parked-then-evicted payload becomes one visible span in the export.
+
+Two export formats:
+
+* JSONL (``repro.trace/v1``): a header line followed by one
+  sorted-key JSON record per line — byte-identical for identical
+  simulations, which the determinism suite pins.
+* Chrome trace-event JSON: loadable in ``chrome://tracing`` / Perfetto.
+  Packet lifetimes, park spans and fault windows render as complete
+  ("X") events on separate tracks; point events render as instants.
+
+Timestamps are simulated nanoseconds (microseconds in the Chrome
+export, per that format's convention).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+#: JSONL schema identifier; bump on incompatible layout changes.
+TRACE_SCHEMA = "repro.trace/v1"
+
+#: Chrome trace track (tid) assignments.
+_TID_PACKETS = 1
+_TID_SLOTS = 2
+_TID_FAULTS = 3
+
+
+class FlightRecorder:
+    """Collects sampled lifecycle events during one deployment run."""
+
+    def __init__(self, sample_every: int = 1, max_events: int = 200_000) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >=1, got {sample_every}")
+        if max_events < 1:
+            raise ValueError(f"max_events must be >=1, got {max_events}")
+        self.sample_every = sample_every
+        self.max_events = max_events
+        #: Simulation clock bound by the plane; dataplane hooks (split,
+        #: merge, control plane) have no env reference of their own.
+        self._clock = None
+        #: Flat record list in execution order (events, closed spans, faults).
+        self.records: List[Dict[str, Any]] = []
+        #: Records rejected by the ``max_events`` cap (never silent).
+        self.dropped_records = 0
+        #: Open park spans: (binding, slot) -> (pkt_id, clk, start_ns).
+        self._open_parks: Dict[Tuple[str, int], Tuple[str, int, int]] = {}
+        self.spans_closed = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording (hot-path hooks; every caller guards on ``is not None``)
+    # ------------------------------------------------------------------ #
+
+    def bind_clock(self, env: Any) -> None:
+        """Attach the event loop whose ``now`` stamps clock-less hooks."""
+        self._clock = env
+
+    def now(self) -> int:
+        """Current simulated time (0 before a clock is bound)."""
+        return self._clock.now if self._clock is not None else 0
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if len(self.records) >= self.max_events:
+            self.dropped_records += 1
+            return
+        self.records.append(record)
+
+    def packet_generated(self, pkt_id: str, t_ns: int, port: int, wire_bytes: int) -> None:
+        self._append(
+            {"type": "event", "ev": "generate", "ts": t_ns, "pkt": pkt_id,
+             "port": port, "bytes": wire_bytes}
+        )
+
+    def packet_delivered(self, pkt_id: str, t_ns: int, latency_ns: Optional[int]) -> None:
+        self._append(
+            {"type": "event", "ev": "deliver", "ts": t_ns, "pkt": pkt_id,
+             "latency_ns": latency_ns}
+        )
+
+    def packet_dropped(self, pkt_id: str, t_ns: int, where: str, reason: str) -> None:
+        self._append(
+            {"type": "event", "ev": "drop", "ts": t_ns, "pkt": pkt_id,
+             "where": where, "reason": reason}
+        )
+
+    def nf_processed(self, pkt_id: str, t_ns: int, server: str, forwarded: bool) -> None:
+        self._append(
+            {"type": "event", "ev": "nf_process", "ts": t_ns, "pkt": pkt_id,
+             "server": server, "forwarded": forwarded}
+        )
+
+    def payload_parked(
+        self, binding: str, slot: int, clk: int, pkt_id: Optional[str]
+    ) -> None:
+        """Open a park span (sampled packets only: ``pkt_id`` may be None)."""
+        if pkt_id is None:
+            return
+        t_ns = self.now()
+        self._open_parks[(binding, slot)] = (pkt_id, clk, t_ns)
+        self._append(
+            {"type": "event", "ev": "park", "ts": t_ns, "pkt": pkt_id,
+             "binding": binding, "slot": slot, "clk": clk}
+        )
+
+    def _close_park(self, binding: str, slot: int, t_ns: int, outcome: str) -> None:
+        opened = self._open_parks.pop((binding, slot), None)
+        if opened is None:
+            return
+        pkt_id, clk, start_ns = opened
+        self.spans_closed += 1
+        self._append(
+            {"type": "span", "span": "park", "binding": binding, "slot": slot,
+             "clk": clk, "pkt": pkt_id, "start_ns": start_ns, "end_ns": t_ns,
+             "outcome": outcome}
+        )
+
+    def slot_evicted(self, binding: str, slot: int) -> None:
+        self._close_park(binding, slot, self.now(), "evicted")
+
+    def slot_merged(self, binding: str, slot: int) -> None:
+        self._close_park(binding, slot, self.now(), "merged")
+
+    def slot_drained(self, binding: str, slot: int) -> None:
+        self._close_park(binding, slot, self.now(), "drained")
+
+    def slot_released(self, binding: str, slot: int, outcome: str) -> None:
+        self._close_park(binding, slot, self.now(), outcome)
+
+    def premature_eviction(self, binding: str, slot: int, pkt_id: Optional[str]) -> None:
+        self._append(
+            {"type": "event", "ev": "premature_eviction", "ts": self.now(),
+             "pkt": pkt_id, "binding": binding, "slot": slot}
+        )
+
+    def fault_applied(
+        self, kind: str, t_ns: int, duration_ns: int, params: Dict[str, Any]
+    ) -> None:
+        """Annotate the trace with a fault window (or instant event)."""
+        clean = {
+            key: value
+            for key, value in params.items()
+            if isinstance(value, (str, int, float, bool)) or value is None
+        }
+        self._append(
+            {"type": "fault", "kind": kind, "ts": t_ns,
+             "duration_ns": duration_ns, "params": clean}
+        )
+
+    # ------------------------------------------------------------------ #
+    # Finalization / export
+    # ------------------------------------------------------------------ #
+
+    def finalize(self, t_ns: int) -> None:
+        """Close every still-open park span with the ``open`` outcome."""
+        for (binding, slot) in sorted(self._open_parks):
+            self._close_park(binding, slot, t_ns, "open")
+
+    def fault_windows(self) -> List[Dict[str, Any]]:
+        """The recorded fault annotations (trace order)."""
+        return [record for record in self.records if record["type"] == "fault"]
+
+    def park_spans(self) -> List[Dict[str, Any]]:
+        """Every closed park span (trace order)."""
+        return [record for record in self.records if record["type"] == "span"]
+
+    def _summary_record(self) -> Dict[str, Any]:
+        return {
+            "type": "summary",
+            "records": len(self.records),
+            "spans_closed": self.spans_closed,
+            "dropped_records": self.dropped_records,
+        }
+
+    def to_jsonl(self) -> str:
+        """Byte-deterministic JSONL export (header + records + summary)."""
+        dumps = json.dumps
+        header = {
+            "type": "header",
+            "schema": TRACE_SCHEMA,
+            "sample_every": self.sample_every,
+            "max_events": self.max_events,
+        }
+        lines = [dumps(header, sort_keys=True, separators=(",", ":"))]
+        for record in self.records:
+            lines.append(dumps(record, sort_keys=True, separators=(",", ":")))
+        lines.append(
+            dumps(self._summary_record(), sort_keys=True, separators=(",", ":"))
+        )
+        return "\n".join(lines) + "\n"
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """Chrome trace-event export (``chrome://tracing`` / Perfetto)."""
+        events: List[Dict[str, Any]] = [
+            {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+             "args": {"name": "repro-sim"}},
+            {"ph": "M", "pid": 1, "tid": _TID_PACKETS, "name": "thread_name",
+             "args": {"name": "packets"}},
+            {"ph": "M", "pid": 1, "tid": _TID_SLOTS, "name": "thread_name",
+             "args": {"name": "parked-payload-slots"}},
+            {"ph": "M", "pid": 1, "tid": _TID_FAULTS, "name": "thread_name",
+             "args": {"name": "fault-windows"}},
+        ]
+        # Derive one lifetime span per sampled packet: generate -> last
+        # terminal event (deliver or drop); packets still in flight at
+        # the end of the run render as instants only.
+        born: Dict[str, int] = {}
+        ended: Dict[str, Tuple[int, str]] = {}
+        for record in self.records:
+            if record["type"] == "event":
+                pkt = record.get("pkt")
+                ev = record["ev"]
+                if pkt is None:
+                    continue
+                if ev == "generate":
+                    born[pkt] = record["ts"]
+                elif ev in ("deliver", "drop"):
+                    ended[pkt] = (record["ts"], ev)
+        for pkt, start_ns in born.items():
+            end = ended.get(pkt)
+            if end is None:
+                continue
+            end_ns, outcome = end
+            events.append(
+                {"ph": "X", "pid": 1, "tid": _TID_PACKETS,
+                 "name": f"pkt:{outcome}", "cat": "packet",
+                 "ts": start_ns / 1_000.0, "dur": max(end_ns - start_ns, 0) / 1_000.0,
+                 "args": {"pkt": pkt}}
+            )
+        for record in self.records:
+            kind = record["type"]
+            if kind == "span":
+                events.append(
+                    {"ph": "X", "pid": 1, "tid": _TID_SLOTS,
+                     "name": f"park[{record['binding']}/{record['slot']}]:{record['outcome']}",
+                     "cat": "payloadpark",
+                     "ts": record["start_ns"] / 1_000.0,
+                     "dur": max(record["end_ns"] - record["start_ns"], 0) / 1_000.0,
+                     "args": {"pkt": record["pkt"], "clk": record["clk"],
+                              "outcome": record["outcome"]}}
+                )
+            elif kind == "fault":
+                events.append(
+                    {"ph": "X", "pid": 1, "tid": _TID_FAULTS,
+                     "name": f"fault:{record['kind']}", "cat": "fault",
+                     "ts": record["ts"] / 1_000.0,
+                     "dur": max(record["duration_ns"], 1) / 1_000.0,
+                     "args": dict(record["params"])}
+                )
+            elif kind == "event" and record["ev"] != "generate":
+                events.append(
+                    {"ph": "i", "pid": 1, "tid": _TID_PACKETS,
+                     "name": record["ev"], "cat": "packet", "s": "t",
+                     "ts": record["ts"] / 1_000.0,
+                     "args": {key: value for key, value in record.items()
+                              if key not in ("type", "ev", "ts")}}
+                )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": self._summary_record(),
+        }

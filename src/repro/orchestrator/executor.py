@@ -17,10 +17,11 @@ process boundary.
 from __future__ import annotations
 
 import dataclasses
+import dataclasses
 import multiprocessing
 import time
 import traceback
-from contextlib import nullcontext
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -77,10 +78,12 @@ def execute_run(run: RunSpec) -> Dict[str, Any]:
         "status": "ok",
     }
     observer = None
+    obs_sink = None
     try:
         scenario = build_scenario(run)
         record["seed"] = scenario.seed
         runner = ExperimentRunner(time_scale=run.time_scale)
+        stack = ExitStack()
         if run.options.get("validate"):
             # Inline invariant checking (the campaign `validate: true`
             # hook): every deployment run of this grid point executes
@@ -90,15 +93,30 @@ def execute_run(run: RunSpec) -> Dict[str, Any]:
             from repro.validation.engine import ValidationObserver
 
             observer = ValidationObserver()
-            context = run_observer(observer)
-        else:
-            context = nullcontext()
-        with context:
+            stack.enter_context(run_observer(observer))
+        observe_opt = run.options.get("observe")
+        if observe_opt:
+            # Campaign `observe:` hook: every deployment run of this grid
+            # point executes with the observability plane armed; the
+            # per-run summaries land in the record (the full exports stay
+            # in the worker — they are too large to ship to the pool).
+            from repro.obs.config import ObserveSpec
+            from repro.obs.session import ObservationSink, observation_sink
+
+            spec = ObserveSpec.from_spec(observe_opt)
+            scenario = dataclasses.replace(scenario, observe=spec)
+            obs_sink = ObservationSink()
+            stack.enter_context(observation_sink(obs_sink))
+        with stack:
             if run.mode == "compare":
                 result = runner.compare(scenario)
                 record["metrics"] = flatten_comparison(result.comparison)
             else:
                 record["metrics"] = _execute_peak(runner, scenario, run.options)
+        if obs_sink is not None:
+            record["observability"] = [
+                obs.summary() for obs in obs_sink.observations
+            ]
         if observer is not None:
             record["violations"] = [v.as_dict() for v in observer.violations]
             record["runs_validated"] = observer.runs_checked

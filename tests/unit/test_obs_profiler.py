@@ -1,0 +1,101 @@
+"""Unit tests for the phase profiler: exclusive time, residual, report."""
+
+import time
+
+import pytest
+
+from repro.obs.profiler import DISPATCH_STAGE, PhaseProfiler
+from repro.obs.schema import validate_profile
+
+
+def _spin(duration_s: float = 0.001) -> None:
+    deadline = time.perf_counter() + duration_s
+    while time.perf_counter() < deadline:
+        pass
+
+
+class TestPhaseProfiler:
+    def test_enter_exit_counts_events(self):
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            profiler.enter("pipeline_walk")
+            profiler.exit()
+        profiler.enter("nf_processing")
+        profiler.exit()
+        report = profiler.report()
+        events = {stage["name"]: stage["events"] for stage in report["stages"]}
+        assert events["pipeline_walk"] == 3
+        assert events["nf_processing"] == 1
+
+    def test_nested_stages_get_exclusive_time(self):
+        profiler = PhaseProfiler()
+        with profiler.measure_total():
+            profiler.enter("outer")
+            _spin()
+            profiler.enter("inner")
+            _spin()
+            profiler.exit()
+            profiler.exit()
+        report = profiler.report()
+        stages = {stage["name"]: stage for stage in report["stages"]}
+        # Inner time is credited to inner only, not double-counted.
+        assert stages["inner"]["wall_ns"] > 0
+        assert stages["outer"]["wall_ns"] > 0
+        total_named = sum(
+            stage["wall_ns"] for stage in report["stages"]
+        )
+        assert total_named == report["total_wall_ns"]
+
+    def test_residual_dispatch_stage_completes_attribution(self):
+        profiler = PhaseProfiler()
+        with profiler.measure_total():
+            profiler.enter("pipeline_walk")
+            _spin()
+            profiler.exit()
+            _spin()  # unattributed time -> event_dispatch residual
+        report = validate_profile(profiler.report())
+        names = [stage["name"] for stage in report["stages"]]
+        assert DISPATCH_STAGE in names
+        assert report["attributed_fraction"] == pytest.approx(1.0)
+        assert 0.0 < report["measured_fraction"] <= 1.0
+
+    def test_report_without_measure_total_has_no_residual(self):
+        profiler = PhaseProfiler()
+        profiler.enter("pipeline_walk")
+        _spin()
+        profiler.exit()
+        report = profiler.report()
+        assert report["total_wall_ns"] == 0
+        assert DISPATCH_STAGE not in [stage["name"] for stage in report["stages"]]
+
+    def test_measure_total_accumulates_across_windows(self):
+        profiler = PhaseProfiler()
+        with profiler.measure_total():
+            _spin()
+        first = profiler.total_wall_ns
+        with profiler.measure_total():
+            _spin()
+        assert profiler.total_wall_ns > first
+
+    def test_stages_sorted_by_wall_time(self):
+        profiler = PhaseProfiler()
+        with profiler.measure_total():
+            profiler.enter("short")
+            profiler.exit()
+            profiler.enter("long")
+            _spin(0.002)
+            profiler.exit()
+        report = profiler.report()
+        walls = [stage["wall_ns"] for stage in report["stages"]]
+        assert walls == sorted(walls, reverse=True)
+        assert report["stages"][0]["name"] == "long"
+
+    def test_fractions_sum_to_at_most_one(self):
+        profiler = PhaseProfiler()
+        with profiler.measure_total():
+            for name in ("a", "b", "c"):
+                profiler.enter(name)
+                _spin(0.0005)
+                profiler.exit()
+        report = validate_profile(profiler.report())
+        assert sum(stage["fraction"] for stage in report["stages"]) <= 1.0 + 1e-9
