@@ -336,6 +336,136 @@ def format_obs_overhead(result: Dict[str, object]) -> str:
 
 
 # ---------------------------------------------------------------------- #
+# Campaign telemetry-bus overhead
+# ---------------------------------------------------------------------- #
+
+#: A bus-enabled campaign must cost less than this fraction of wall time
+#: over the identical bus-off campaign.
+BUS_OVERHEAD_TOLERANCE = 0.02
+
+
+def _measure_campaign_mode(
+    cells: int,
+    time_scale: float,
+    workers: int,
+    bus_enabled: bool,
+    events_dir: Path,
+    round_index: int,
+) -> Dict[str, float]:
+    """Run one ephemeral campaign, bus on or off; return wall time."""
+    from repro.orchestrator.executor import CampaignExecutor
+    from repro.orchestrator.spec import CampaignSpec
+    from repro.orchestrator.telemetrybus import TelemetryBus
+
+    campaign = CampaignSpec(
+        name=f"bus-bench-{round_index}",
+        scenario="fw_nat_lb_10ge",
+        grid={"send_rate_gbps": [2.0 + i for i in range(cells)]},
+        time_scale=time_scale,
+    )
+    bus = None
+    if bus_enabled:
+        bus = TelemetryBus(
+            events_path=events_dir / f"bus-bench-{round_index}.events.jsonl"
+        ).start()
+    try:
+        started = time.perf_counter()
+        summary = CampaignExecutor(workers=workers, bus=bus).run_campaign(
+            campaign, store=None, resume=False
+        )
+        wall_s = time.perf_counter() - started
+    finally:
+        if bus is not None:
+            bus.stop()
+    return {
+        "wall_s": round(wall_s, 4),
+        "cells": summary.executed,
+        "cells_per_sec": round(summary.executed / wall_s, 3) if wall_s > 0 else 0.0,
+    }
+
+
+def run_bus_overhead(
+    cells: int = 6,
+    time_scale: float = 0.05,
+    repeat: int = 3,
+    workers: int = 1,
+) -> Dict[str, object]:
+    """Measure the telemetry bus's campaign cost, bus-off vs bus-on.
+
+    Same paired-round design as :func:`run_obs_overhead`: both modes run
+    back to back within each round, the gated statistic is the *best*
+    round's on/off throughput ratio — transient noise depresses rounds
+    at random, a real bus cost depresses all of them.
+    """
+    if cells < 1:
+        raise ValueError("cells must be at least 1")
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    import tempfile
+
+    off_runs, on_runs, ratios = [], [], []
+    with tempfile.TemporaryDirectory(prefix="repro-bus-bench-") as tmp:
+        events_dir = Path(tmp)
+        for round_index in range(repeat):
+            off = _measure_campaign_mode(
+                cells, time_scale, workers, False, events_dir, round_index
+            )
+            on = _measure_campaign_mode(
+                cells, time_scale, workers, True, events_dir, round_index
+            )
+            off_runs.append(off)
+            on_runs.append(on)
+            if off["cells_per_sec"]:
+                ratios.append(on["cells_per_sec"] / off["cells_per_sec"])
+
+    def best(runs) -> Dict[str, float]:
+        return max(runs, key=lambda run: run["cells_per_sec"])
+
+    return {
+        "cells": cells,
+        "time_scale": time_scale,
+        "repeat": repeat,
+        "workers": workers,
+        "off": best(off_runs),
+        "on": best(on_runs),
+        "on_over_off": round(max(ratios), 4) if ratios else 0.0,
+    }
+
+
+def check_bus_overhead(
+    result: Dict[str, object],
+    tolerance: float = BUS_OVERHEAD_TOLERANCE,
+) -> tuple:
+    """Gate the bus-enabled campaign overhead; returns ``(ok, message)``."""
+    ratio = float(result["on_over_off"])
+    floor = 1.0 - tolerance
+    ok = ratio >= floor
+    message = (
+        f"bus-enabled campaign throughput ratio {ratio:.3f} "
+        f"(floor {floor:.3f} at {tolerance:.0%} overhead budget): "
+        + ("ok" if ok else "REGRESSION")
+    )
+    return ok, message
+
+
+def format_bus_overhead(result: Dict[str, object]) -> str:
+    """Human-readable summary of one bus-overhead measurement."""
+    lines = [
+        f"telemetry-bus overhead: {result['cells']} cells @ time_scale "
+        f"{result['time_scale']} × {result['workers']} worker(s), "
+        f"best of {result['repeat']}",
+    ]
+    for mode in ("off", "on"):
+        run = result[mode]
+        lines.append(
+            f"  bus {mode:>3}: {run['cells']:>3} cells  {run['wall_s']:>8.2f}s  "
+            f"{run['cells_per_sec']:>8.2f} cells/s"
+        )
+    lines.append(f"  on/off ratio: {result['on_over_off']:.3f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
 # Machine-readable bench artifacts
 # ---------------------------------------------------------------------- #
 

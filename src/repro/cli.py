@@ -233,11 +233,48 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument(
         "--json", action="store_true", help="emit the run summary as JSON"
     )
+    campaign_run.add_argument(
+        "--no-bus", action="store_true",
+        help="disable the telemetry bus (no live events sidecar; "
+             "'repro campaign serve' can then only attach post-hoc)",
+    )
+    campaign_run.add_argument(
+        "--heartbeat", type=float, default=5.0, metavar="SECONDS",
+        help="seconds between per-cell worker heartbeats on the bus (default 5)",
+    )
 
     campaign_status = campaign_sub.add_parser(
         "status", help="show completed/pending/failed counts"
     )
     add_common(campaign_status)
+
+    campaign_serve = campaign_sub.add_parser(
+        "serve",
+        help="HTTP endpoints over campaign state: /status /cells "
+             "/violations /events /metrics (live tail or post-hoc)",
+    )
+    add_common(campaign_serve)
+    campaign_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    campaign_serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (default 8765; 0 picks a free port)",
+    )
+    campaign_serve.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="store/events tail poll interval while following a live "
+             "campaign (default 0.5)",
+    )
+    campaign_serve.add_argument(
+        "--no-follow", action="store_true",
+        help="serve a frozen post-hoc snapshot instead of tailing the "
+             "store and events sidecar",
+    )
+    campaign_serve.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="stop serving after this many seconds (default: until Ctrl-C)",
+    )
 
     campaign_report = campaign_sub.add_parser(
         "report", help="aggregate stored records into a table"
@@ -461,6 +498,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not write benchmarks/obs_overhead.json or append to "
              "benchmarks/bench_history.jsonl",
     )
+    bench_parser.add_argument(
+        "--bus-check", action="store_true",
+        help="also measure campaign telemetry-bus overhead and fail when a "
+             "bus-enabled campaign costs more than the budget "
+             "(see --bus-tolerance)",
+    )
+    bench_parser.add_argument(
+        "--bus-tolerance", type=float, default=None,
+        help="allowed bus-enabled campaign throughput loss for --bus-check "
+             "(default 0.02)",
+    )
+
+    bench_sub = bench_parser.add_subparsers(dest="bench_command")
+    bench_trend = bench_sub.add_parser(
+        "trend",
+        help="sliding-window regression detection over the bench history",
+    )
+    bench_trend.add_argument(
+        "--history", default=None,
+        help="bench history JSONL (default benchmarks/bench_history.jsonl)",
+    )
+    bench_trend.add_argument(
+        "--kind", default="fastpath",
+        help="history entry kind to analyse (default fastpath)",
+    )
+    bench_trend.add_argument(
+        "--metric", default="fast.packets_per_sec",
+        help="dotted metric path inside each entry "
+             "(default fast.packets_per_sec)",
+    )
+    bench_trend.add_argument(
+        "--window", type=int, default=3,
+        help="trailing samples that must all regress to flag (default 3)",
+    )
+    bench_trend.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="fractional drop below the pre-window median that counts as "
+             "regressed (default 0.25)",
+    )
+    bench_trend.add_argument(
+        "--json", action="store_true", help="emit the analysis as JSON"
+    )
+
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="cross-run observability: diff metrics exports, list campaign runs",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command")
+
+    obs_diff = obs_sub.add_parser(
+        "diff",
+        help="metric-by-metric delta between two repro.metrics/v1 exports",
+    )
+    obs_diff.add_argument(
+        "run_a", help="metrics export file, or a directory with exactly one"
+    )
+    obs_diff.add_argument(
+        "run_b", help="metrics export file, or a directory with exactly one"
+    )
+    obs_diff.add_argument(
+        "--top", type=int, default=None,
+        help="show only the N biggest movers per section",
+    )
+    obs_diff.add_argument(
+        "--json", action="store_true", help="emit the structured diff as JSON"
+    )
+
+    obs_runs = obs_sub.add_parser(
+        "runs", help="summarize every campaign store under the results root"
+    )
+    obs_runs.add_argument(
+        "--root", default="results",
+        help="directory holding campaign stores (default results/)",
+    )
+    obs_runs.add_argument(
+        "--json", action="store_true", help="emit the run index as JSON"
+    )
 
     observe_parser = subparsers.add_parser(
         "observe",
@@ -648,22 +762,32 @@ def _bench(args) -> int:
             scenario=scenario, rate_gbps=rate, time_scale=time_scale,
             repeat=args.repeat,
         )
+    bus_result = None
+    if args.bus_check:
+        bus_result = bench.run_bus_overhead(repeat=max(args.repeat, 3))
     if args.json:
         payload = dict(result)
         if obs_result is not None:
             payload["obs_overhead"] = obs_result
+        if bus_result is not None:
+            payload["bus_overhead"] = bus_result
         json.dump(payload, sys.stdout, indent=2)
         print()
     else:
         print(bench.format_result(result))
         if obs_result is not None:
             print(bench.format_obs_overhead(obs_result))
+        if bus_result is not None:
+            print(bench.format_bus_overhead(bus_result))
     if not args.no_artifact:
         history = bench.append_history(result, kind="fastpath")
         logger.info("appended fastpath measurement to %s", history)
         if obs_result is not None:
             artifact = bench.write_bench_artifact(obs_result, kind="obs_overhead")
             logger.info("wrote observability-overhead artifact %s", artifact)
+        if bus_result is not None:
+            bus_history = bench.append_history(bus_result, kind="campaign_bus")
+            logger.info("appended campaign-bus measurement to %s", bus_history)
     exit_code = 0
     if obs_result is not None:
         obs_tolerance = (
@@ -671,6 +795,15 @@ def _bench(args) -> int:
             else bench.OBS_OVERHEAD_TOLERANCE
         )
         ok, message = bench.check_obs_overhead(obs_result, tolerance=obs_tolerance)
+        (logger.info if ok else logger.error)("%s", message)
+        if not ok:
+            exit_code = 3
+    if bus_result is not None:
+        bus_tolerance = (
+            args.bus_tolerance if args.bus_tolerance is not None
+            else bench.BUS_OVERHEAD_TOLERANCE
+        )
+        ok, message = bench.check_bus_overhead(bus_result, tolerance=bus_tolerance)
         (logger.info if ok else logger.error)("%s", message)
         if not ok:
             exit_code = 3
@@ -685,6 +818,63 @@ def _bench(args) -> int:
         if not ok:
             exit_code = 3
     return exit_code
+
+
+def _bench_trend(args) -> int:
+    from pathlib import Path as _Path
+
+    from repro.orchestrator.ledger import RunLedger, detect_regression, format_trend
+
+    ledger = RunLedger(
+        history_path=_Path(args.history) if args.history else None
+    )
+    values = ledger.bench_series(kind=args.kind, metric=args.metric)
+    result = detect_regression(
+        values, window=args.window, threshold=args.threshold
+    )
+    result["kind"] = args.kind
+    result["metric"] = args.metric
+    if args.json:
+        json.dump(result, sys.stdout, indent=2)
+        print()
+    else:
+        print(format_trend(result, args.kind, args.metric))
+    return 3 if result["regressed"] else 0
+
+
+# ---------------------------------------------------------------------- #
+# Obs subcommands (cross-run)
+# ---------------------------------------------------------------------- #
+
+
+def _obs_diff(args) -> int:
+    from repro.obs.diff import diff_metrics, format_diff, load_metrics_export
+
+    export_a = load_metrics_export(args.run_a)
+    export_b = load_metrics_export(args.run_b)
+    diff = diff_metrics(export_a, export_b)
+    if args.json:
+        json.dump(diff, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(f"metrics diff: a={args.run_a} b={args.run_b}")
+        print(format_diff(diff, top=args.top))
+    return 0
+
+
+def _obs_runs(args) -> int:
+    from repro.orchestrator.ledger import RunLedger
+    from repro.telemetry.report import render_table
+
+    rows = RunLedger(results_root=Path(args.root)).campaign_runs()
+    if args.json:
+        json.dump({"runs": rows}, sys.stdout, indent=2)
+        print()
+    elif not rows:
+        print(f"no campaign stores under {args.root}/")
+    else:
+        print(render_table(rows))
+    return 0
 
 
 # ---------------------------------------------------------------------- #
@@ -854,7 +1044,7 @@ def _load_campaign(args):
 
 
 def _campaign_run(args) -> int:
-    from repro.orchestrator import CampaignExecutor
+    from repro.orchestrator import CampaignExecutor, TelemetryBus, events_path_for
 
     campaign, store = _load_campaign(args)
     workers = 1 if args.serial else args.workers
@@ -867,8 +1057,30 @@ def _campaign_run(args) -> int:
             line += f" — {record.get('error', 'unknown error')}"
         logger.info("%s", line)
 
-    executor = CampaignExecutor(workers=workers, progress=None if args.json else progress)
-    summary = executor.run_campaign(campaign, store=store, resume=not args.no_resume)
+    bus = None
+    if not args.no_bus:
+        # Bus on by default: workers stream telemetry into the events
+        # sidecar so a separate `repro campaign serve` can attach live.
+        events_path = events_path_for(store.path)
+        bus = TelemetryBus(
+            events_path=events_path, heartbeat_interval_s=args.heartbeat
+        ).start()
+        logger.info("telemetry bus -> %s", events_path)
+    log_level = "debug" if args.verbose else args.log_level
+    try:
+        executor = CampaignExecutor(
+            workers=workers,
+            progress=None if args.json else progress,
+            bus=bus,
+            log_level=log_level,
+            heartbeat_interval_s=args.heartbeat,
+        )
+        summary = executor.run_campaign(
+            campaign, store=store, resume=not args.no_resume
+        )
+    finally:
+        if bus is not None:
+            bus.stop()
     if args.json:
         json.dump(summary.as_row(), sys.stdout, indent=2)
         print()
@@ -880,6 +1092,48 @@ def _campaign_run(args) -> int:
             f"-> {store.path}"
         )
     return 1 if summary.failed else 0
+
+
+def _campaign_serve(args) -> int:
+    import time as _time
+
+    from repro.orchestrator import StoreFollower, events_path_for, monitor_from_store
+    from repro.orchestrator.serve import CampaignServer
+
+    campaign, store = _load_campaign(args)
+    events_path = events_path_for(store.path)
+    monitor = monitor_from_store(
+        campaign, store, events_path if args.no_follow else None
+    )
+    follower = None
+    if not args.no_follow:
+        # Live mode: the monitor starts from the store snapshot and the
+        # follower keeps folding in whatever a concurrently running
+        # `repro campaign run` appends (events sidecar first, so
+        # violations surface before the record lands).
+        follower = StoreFollower(
+            monitor, store.path, events_path, poll_interval_s=args.poll_interval
+        )
+        follower.poll_once()
+        follower.start()
+    server = CampaignServer(monitor, host=args.host, port=args.port)
+    server.start()
+    print(f"serving campaign {campaign.name!r} on {server.url}")
+    print("  endpoints: /status /cells /violations /events /metrics")
+    print(f"  store: {store.path}" + ("" if args.no_follow else " (following)"))
+    try:
+        if args.max_seconds is not None:
+            _time.sleep(args.max_seconds)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        logger.info("interrupted; shutting down")
+    finally:
+        server.stop()
+        if follower is not None:
+            follower.stop()
+    return 0
 
 
 def _campaign_status(args) -> int:
@@ -1242,6 +1496,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "bench":
         try:
+            if getattr(args, "bench_command", None) == "trend":
+                return _bench_trend(args)
             return _bench(args)
         except (ValueError, RuntimeError, OSError) as exc:
             logger.error("error: %s", exc)
@@ -1252,8 +1508,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             "run": _campaign_run,
             "status": _campaign_status,
             "report": _campaign_report,
+            "serve": _campaign_serve,
         }
         handler = handlers.get(args.campaign_command)
+        if handler is None:
+            parser.print_help()
+            return 1
+        try:
+            return handler(args)
+        except (ValueError, RuntimeError, OSError) as exc:
+            logger.error("error: %s", exc)
+            return 2
+
+    if args.command == "obs":
+        handlers = {
+            "diff": _obs_diff,
+            "runs": _obs_runs,
+        }
+        handler = handlers.get(args.obs_command)
         if handler is None:
             parser.print_help()
             return 1

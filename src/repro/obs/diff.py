@@ -1,0 +1,151 @@
+"""Metric-by-metric diff between two observability exports.
+
+``repro obs diff <runA> <runB>`` compares the ``repro.metrics/v1``
+exports PR 6's planes write (via ``repro observe run`` / ``repro run
+--metrics`` / campaign ``observe:`` blocks) so a regression hunt can
+start from *which counters moved*, not from raw JSON.  Each argument is
+a metrics export file or a directory holding exactly one
+``*.metrics.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.schema import SchemaError, validate_metrics
+from repro.telemetry.report import render_table
+
+
+def load_metrics_export(path) -> Dict[str, Any]:
+    """Load and validate a metrics export from a file or directory."""
+    path = Path(path)
+    if path.is_dir():
+        candidates = sorted(path.rglob("*.metrics.json"))
+        if not candidates:
+            raise SchemaError(f"{path}: no *.metrics.json export found")
+        if len(candidates) > 1:
+            names = ", ".join(str(c.relative_to(path)) for c in candidates[:5])
+            raise SchemaError(
+                f"{path}: ambiguous — {len(candidates)} metrics exports ({names}"
+                f"{', ...' if len(candidates) > 5 else ''}); pass one file"
+            )
+        path = candidates[0]
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SchemaError(f"{path}: unreadable metrics export: {exc}") from exc
+    return validate_metrics(data)
+
+
+def _series_last(export: Dict[str, Any]) -> Dict[str, float]:
+    """Final value of every series (the end-of-run reading)."""
+    last = {}
+    for name, entry in export.get("series", {}).items():
+        points = entry.get("points") or []
+        if points:
+            last[name] = points[-1][1]
+    return last
+
+
+def _numeric_diff(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    entries = {}
+    for name in sorted(set(a) | set(b)):
+        if name not in a:
+            entries[name] = {"a": None, "b": b[name], "delta": None, "percent": None}
+            continue
+        if name not in b:
+            entries[name] = {"a": a[name], "b": None, "delta": None, "percent": None}
+            continue
+        va, vb = a[name], b[name]
+        if not isinstance(va, (int, float)) or not isinstance(vb, (int, float)):
+            continue
+        delta = vb - va
+        percent = (delta / va * 100.0) if va else (None if delta == 0 else float("inf"))
+        entries[name] = {
+            "a": va,
+            "b": vb,
+            "delta": round(delta, 6),
+            "percent": round(percent, 2) if percent not in (None, float("inf")) else percent,
+        }
+    return entries
+
+
+def diff_metrics(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    """Structured diff of two validated metrics exports."""
+    histograms = {}
+    ha, hb = a.get("histograms", {}), b.get("histograms", {})
+    for name in sorted(set(ha) | set(hb)):
+        summary_a = {k: ha[name][k] for k in ("count", "mean")} if name in ha else None
+        summary_b = {k: hb[name][k] for k in ("count", "mean")} if name in hb else None
+        entry: Dict[str, Any] = {"a": summary_a, "b": summary_b}
+        if summary_a and summary_b:
+            entry["count_delta"] = summary_b["count"] - summary_a["count"]
+            entry["mean_delta"] = round(summary_b["mean"] - summary_a["mean"], 6)
+        histograms[name] = entry
+    return {
+        "counters": _numeric_diff(a.get("counters", {}), b.get("counters", {})),
+        "gauges": _numeric_diff(a.get("gauges", {}), b.get("gauges", {})),
+        "series_last": _numeric_diff(_series_last(a), _series_last(b)),
+        "histograms": histograms,
+        "samples_taken": {"a": a.get("samples_taken"), "b": b.get("samples_taken")},
+    }
+
+
+def _magnitude(entry: Dict[str, Any]) -> float:
+    percent = entry.get("percent")
+    if percent is None:
+        # One-sided entries sort after everything that moved.
+        return -1.0
+    if percent == float("inf"):
+        return float("inf")
+    return abs(percent)
+
+
+def format_diff(diff: Dict[str, Any], top: Optional[int] = None) -> str:
+    """Render a diff as aligned tables, biggest movers first."""
+    sections = []
+    for section in ("counters", "gauges", "series_last"):
+        entries = diff.get(section, {})
+        rows: List[Dict[str, Any]] = []
+        for name, entry in sorted(
+            entries.items(), key=lambda item: _magnitude(item[1]), reverse=True
+        ):
+            rows.append(
+                {
+                    "metric": name,
+                    "a": entry["a"] if entry["a"] is not None else "-",
+                    "b": entry["b"] if entry["b"] is not None else "-",
+                    "delta": entry["delta"] if entry["delta"] is not None else "-",
+                    "percent": (
+                        f"{entry['percent']:+.2f}%"
+                        if isinstance(entry["percent"], (int, float))
+                        and entry["percent"] != float("inf")
+                        else ("new" if entry["a"] is None else
+                              "gone" if entry["b"] is None else "inf")
+                    ),
+                }
+            )
+        if top is not None:
+            rows = rows[:top]
+        if rows:
+            sections.append(f"== {section} ==\n" + render_table(rows))
+    histograms = diff.get("histograms", {})
+    rows = []
+    for name, entry in sorted(histograms.items()):
+        if entry.get("a") and entry.get("b"):
+            rows.append(
+                {
+                    "histogram": name,
+                    "count_a": entry["a"]["count"],
+                    "count_b": entry["b"]["count"],
+                    "count_delta": entry["count_delta"],
+                    "mean_delta": entry["mean_delta"],
+                }
+            )
+    if rows:
+        sections.append("== histograms ==\n" + render_table(rows))
+    if not sections:
+        return "(no comparable metrics)"
+    return "\n\n".join(sections)

@@ -181,3 +181,149 @@ def validate_observation(observation: Any) -> None:
         validate_chrome_trace(observation.chrome_trace)
     if observation.profile is not None:
         validate_profile(observation.profile)
+
+
+# ---------------------------------------------------------------------- #
+# repro.campaign/v1 — the `repro campaign serve` payloads
+# ---------------------------------------------------------------------- #
+
+CAMPAIGN_SCHEMA = "repro.campaign/v1"
+
+_CELL_STATUSES = ("running", "ok", "error", "violation")
+
+
+def _require_campaign_envelope(data: Any, kind: str) -> None:
+    _require_keys(data, ("schema", "type"), f"campaign {kind}")
+    _require(
+        data["schema"] == CAMPAIGN_SCHEMA,
+        f"campaign {kind}: schema {data.get('schema')!r} != {CAMPAIGN_SCHEMA!r}",
+    )
+    _require(
+        data["type"] == kind,
+        f"campaign {kind}: type {data.get('type')!r} != {kind!r}",
+    )
+
+
+def validate_campaign_status(data: Any) -> Dict[str, Any]:
+    """Validate a ``repro.campaign/v1`` `/status` payload."""
+    _require_campaign_envelope(data, "status")
+    _require_keys(
+        data,
+        ("state", "cells_total", "cells_done", "cells_ok", "cells_error",
+         "cells_violation", "cells_running", "cells_pending",
+         "violations_total", "progress", "eta_s", "slices"),
+        "campaign status",
+    )
+    _require(
+        data["state"] in ("running", "finished", "idle"),
+        f"campaign status: bad state {data['state']!r}",
+    )
+    for key in ("cells_total", "cells_done", "cells_ok", "cells_error",
+                "cells_violation", "cells_running", "cells_pending",
+                "violations_total"):
+        _require(
+            isinstance(data[key], int) and data[key] >= 0,
+            f"campaign status: {key} must be a non-negative integer",
+        )
+    done = (data["cells_ok"] + data["cells_error"] + data["cells_violation"])
+    _require(
+        data["cells_done"] == done,
+        f"campaign status: cells_done {data['cells_done']} != ok+error+violation {done}",
+    )
+    _require(
+        data["cells_done"] <= data["cells_total"],
+        "campaign status: cells_done exceeds cells_total",
+    )
+    _require(
+        0.0 <= data["progress"] <= 1.0,
+        f"campaign status: progress {data['progress']} outside [0, 1]",
+    )
+    _require(
+        data["eta_s"] is None or data["eta_s"] >= 0,
+        "campaign status: negative eta_s",
+    )
+    _require(isinstance(data["slices"], dict), "campaign status: slices must be an object")
+    for axis, buckets in data["slices"].items():
+        _require(
+            isinstance(buckets, dict),
+            f"campaign status: slices[{axis!r}] must be an object",
+        )
+        for value, bucket in buckets.items():
+            _require_keys(
+                bucket,
+                ("cells", "ok", "failed", "violations", "mean_wall_s"),
+                f"campaign status: slices[{axis!r}][{value!r}]",
+            )
+    return data
+
+
+def validate_campaign_cells(data: Any) -> Dict[str, Any]:
+    """Validate a ``repro.campaign/v1`` `/cells` payload."""
+    _require_campaign_envelope(data, "cells")
+    _require_keys(data, ("cells",), "campaign cells")
+    _require(isinstance(data["cells"], list), "campaign cells: cells must be a list")
+    seen = set()
+    for index, cell in enumerate(data["cells"]):
+        _require_keys(
+            cell,
+            ("spec_hash", "scenario", "params", "status", "wall_time_s", "violations"),
+            f"campaign cells[{index}]",
+        )
+        _require(
+            cell["status"] in _CELL_STATUSES,
+            f"campaign cells[{index}]: bad status {cell['status']!r}",
+        )
+        _require(
+            cell["spec_hash"] not in seen,
+            f"campaign cells[{index}]: duplicate spec_hash {cell['spec_hash']!r}",
+        )
+        seen.add(cell["spec_hash"])
+    return data
+
+
+def validate_campaign_violations(data: Any) -> Dict[str, Any]:
+    """Validate a ``repro.campaign/v1`` `/violations` payload."""
+    _require_campaign_envelope(data, "violations")
+    _require_keys(data, ("violations",), "campaign violations")
+    for index, entry in enumerate(data["violations"]):
+        _require_keys(
+            entry,
+            ("spec_hash", "scenario", "deployment", "check", "message"),
+            f"campaign violations[{index}]",
+        )
+    return data
+
+
+def validate_campaign_event(data: Any) -> Dict[str, Any]:
+    """Validate one bus event line (the `/events` NDJSON records)."""
+    _require_keys(data, ("type", "ts"), "campaign event")
+    _require(
+        isinstance(data["type"], str) and data["type"],
+        "campaign event: type must be a non-empty string",
+    )
+    _require(
+        isinstance(data["ts"], (int, float)),
+        "campaign event: ts must be a number",
+    )
+    if data["type"] in ("cell_started", "cell_finished", "heartbeat",
+                        "violation", "obs_summary"):
+        _require_keys(data, ("spec_hash",), f"campaign event {data['type']!r}")
+    return data
+
+
+def validate_observation_summary(data: Any) -> Dict[str, Any]:
+    """Validate one per-cell observability summary digest."""
+    _require_keys(
+        data, ("scenario", "deployment", "seed", "fast_path"), "observation summary"
+    )
+    if "metrics" in data and data["metrics"] is not None:
+        _require_keys(
+            data["metrics"], ("samples_taken", "series", "counters"),
+            "observation summary metrics",
+        )
+    if "profile" in data and data["profile"] is not None:
+        _require_keys(
+            data["profile"], ("total_wall_ns", "measured_fraction"),
+            "observation summary profile",
+        )
+    return data

@@ -1,6 +1,6 @@
 """Campaign orchestrator: declarative sweeps, parallel execution, resumable results.
 
-The subsystem has four layers:
+The subsystem has seven layers:
 
 - :mod:`repro.orchestrator.spec` — scenario registry, campaign grids and
   hashable run descriptors;
@@ -9,7 +9,13 @@ The subsystem has four layers:
 - :mod:`repro.orchestrator.store` — append-only JSONL records keyed by
   spec hash, enabling resume;
 - :mod:`repro.orchestrator.aggregate` — regrouping records into
-  per-figure tables.
+  per-figure tables;
+- :mod:`repro.orchestrator.telemetrybus` — structured worker events over
+  a multiprocessing queue into live campaign state;
+- :mod:`repro.orchestrator.serve` — ``repro campaign serve`` HTTP
+  endpoints (status/cells/violations/events/metrics), live or post-hoc;
+- :mod:`repro.orchestrator.ledger` — cross-run index over stores and the
+  bench history, with sliding-window regression detection.
 """
 
 from repro.orchestrator.executor import (
@@ -19,6 +25,8 @@ from repro.orchestrator.executor import (
     flatten_comparison,
     flatten_report,
 )
+from repro.orchestrator.ledger import RunLedger, detect_regression
+from repro.orchestrator.serve import CampaignServer, StoreFollower, monitor_from_store
 from repro.orchestrator.spec import (
     SCENARIO_REGISTRY,
     CampaignSpec,
@@ -27,20 +35,34 @@ from repro.orchestrator.spec import (
     derived_seed,
     register_scenario,
 )
-from repro.orchestrator.store import ResultStore, default_store_path
+from repro.orchestrator.store import ResultStore, default_store_path, events_path_for
+from repro.orchestrator.telemetrybus import (
+    CampaignMonitor,
+    TelemetryBus,
+    events_from_record,
+)
 
 __all__ = [
     "SCENARIO_REGISTRY",
     "CampaignExecutor",
+    "CampaignMonitor",
+    "CampaignServer",
     "CampaignSpec",
     "CampaignSummary",
     "ResultStore",
+    "RunLedger",
     "RunSpec",
+    "StoreFollower",
+    "TelemetryBus",
     "build_scenario",
     "default_store_path",
     "derived_seed",
+    "detect_regression",
+    "events_from_record",
+    "events_path_for",
     "execute_run",
     "flatten_comparison",
     "flatten_report",
+    "monitor_from_store",
     "register_scenario",
 ]

@@ -17,21 +17,49 @@ process boundary.
 from __future__ import annotations
 
 import dataclasses
-import dataclasses
 import multiprocessing
+import os
 import time
 import traceback
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.experiments.runner import DeploymentKind, ExperimentRunner
 from repro.orchestrator.spec import CampaignSpec, RunSpec, build_scenario, dedupe_specs
 from repro.orchestrator.store import ResultStore
+from repro.orchestrator import telemetrybus
+from repro.orchestrator.telemetrybus import (
+    DEFAULT_HEARTBEAT_INTERVAL_S,
+    TelemetryBus,
+    cell_context,
+    start_heartbeat,
+    worker_emit,
+)
 from repro.telemetry.report import ComparisonReport, DeploymentReport
 
 #: Callback invoked with each finished record (progress reporting).
 ProgressCallback = Callable[[Dict[str, Any]], None]
+
+
+def _campaign_worker_init(
+    bus_queue: Optional[Any],
+    log_level: Optional[str],
+    heartbeat_interval_s: float,
+) -> None:
+    """Pool initializer: arm telemetry and logging in a fresh worker.
+
+    Runs once per worker process.  The bus queue arrives through
+    initargs (a ``multiprocessing.Queue`` is inheritable but not
+    imap-picklable), and the CLI's ``--log-level`` follows the campaign
+    into the pool so worker records are not silently stuck at the
+    default config — tagged with the running cell's hash.
+    """
+    if log_level is not None:
+        telemetrybus.configure_worker_logging(log_level)
+    if bus_queue is not None:
+        telemetrybus.install_worker_sink(bus_queue.put, heartbeat_interval_s)
 
 
 def flatten_report(report: DeploymentReport, prefix: str = "") -> Dict[str, Any]:
@@ -79,57 +107,91 @@ def execute_run(run: RunSpec) -> Dict[str, Any]:
     }
     observer = None
     obs_sink = None
+    obs_out_dir: Optional[Path] = None
+    worker_emit(
+        {
+            "type": "cell_started",
+            "spec_hash": run.spec_hash,
+            "scenario": run.scenario,
+            "params": dict(run.params),
+            "pid": os.getpid(),
+        }
+    )
+    heartbeat = start_heartbeat(run.spec_hash)
     try:
-        scenario = build_scenario(run)
-        record["seed"] = scenario.seed
-        runner = ExperimentRunner(time_scale=run.time_scale)
-        stack = ExitStack()
-        if run.options.get("validate"):
-            # Inline invariant checking (the campaign `validate: true`
-            # hook): every deployment run of this grid point executes
-            # under the validation observer.  Imported lazily — the
-            # validation package layers on top of the orchestrator.
-            from repro.experiments.runner import run_observer
-            from repro.validation.engine import ValidationObserver
+        with cell_context(run.spec_hash):
+            scenario = build_scenario(run)
+            record["seed"] = scenario.seed
+            runner = ExperimentRunner(time_scale=run.time_scale)
+            stack = ExitStack()
+            if run.options.get("validate"):
+                # Inline invariant checking (the campaign `validate: true`
+                # hook): every deployment run of this grid point executes
+                # under the validation observer.  Imported lazily — the
+                # validation package layers on top of the orchestrator.
+                from repro.experiments.runner import run_observer
+                from repro.validation.engine import ValidationObserver
 
-            observer = ValidationObserver()
-            stack.enter_context(run_observer(observer))
-        observe_opt = run.options.get("observe")
-        if observe_opt:
-            # Campaign `observe:` hook: every deployment run of this grid
-            # point executes with the observability plane armed; the
-            # per-run summaries land in the record (the full exports stay
-            # in the worker — they are too large to ship to the pool).
-            from repro.obs.config import ObserveSpec
-            from repro.obs.session import ObservationSink, observation_sink
+                observer = ValidationObserver()
+                stack.enter_context(run_observer(observer))
+            observe_opt = run.options.get("observe")
+            if observe_opt:
+                # Campaign `observe:` hook: every deployment run of this grid
+                # point executes with the observability plane armed; the
+                # per-run summaries land in the record (the full exports stay
+                # in the worker — they are too large to ship to the pool,
+                # but an `out_dir` key lands them on disk per cell).
+                from repro.obs.config import ObserveSpec
+                from repro.obs.session import ObservationSink, observation_sink
 
-            spec = ObserveSpec.from_spec(observe_opt)
-            scenario = dataclasses.replace(scenario, observe=spec)
-            obs_sink = ObservationSink()
-            stack.enter_context(observation_sink(obs_sink))
-        with stack:
-            if run.mode == "compare":
-                result = runner.compare(scenario)
-                record["metrics"] = flatten_comparison(result.comparison)
-            else:
-                record["metrics"] = _execute_peak(runner, scenario, run.options)
-        if obs_sink is not None:
-            record["observability"] = [
-                obs.summary() for obs in obs_sink.observations
-            ]
-        if observer is not None:
-            record["violations"] = [v.as_dict() for v in observer.violations]
-            record["runs_validated"] = observer.runs_checked
-            if observer.violations:
-                record["status"] = "violation"
-                record["error"] = (
-                    f"{len(observer.violations)} invariant violation(s); "
-                    f"first: {observer.violations[0]}"
-                )
+                if isinstance(observe_opt, Mapping) and "out_dir" in observe_opt:
+                    observe_opt = dict(observe_opt)
+                    # Cell subdirectory keyed by the spec hash: parallel
+                    # workers can never collide on export paths.
+                    obs_out_dir = Path(observe_opt.pop("out_dir")) / run.spec_hash
+                spec = ObserveSpec.from_spec(observe_opt)
+                scenario = dataclasses.replace(scenario, observe=spec)
+                obs_sink = ObservationSink()
+                stack.enter_context(observation_sink(obs_sink))
+            with stack:
+                if run.mode == "compare":
+                    result = runner.compare(scenario)
+                    record["metrics"] = flatten_comparison(result.comparison)
+                else:
+                    record["metrics"] = _execute_peak(runner, scenario, run.options)
+            if obs_sink is not None:
+                record["observability"] = [
+                    obs.summary() for obs in obs_sink.observations
+                ]
+                if obs_out_dir is not None:
+                    from repro.obs.export import observation_stem, write_observation
+
+                    written: List[str] = []
+                    for index, obs in enumerate(obs_sink.observations):
+                        written.extend(
+                            str(path)
+                            for path in write_observation(
+                                obs, obs_out_dir, observation_stem(obs, index)
+                            )
+                        )
+                    record["observability_dir"] = str(obs_out_dir)
+                    record["observability_files"] = written
+            if observer is not None:
+                record["violations"] = [v.as_dict() for v in observer.violations]
+                record["runs_validated"] = observer.runs_checked
+                if observer.violations:
+                    record["status"] = "violation"
+                    record["error"] = (
+                        f"{len(observer.violations)} invariant violation(s); "
+                        f"first: {observer.violations[0]}"
+                    )
     except Exception as exc:  # noqa: BLE001 - worker must not crash the pool
         record["status"] = "error"
         record["error"] = f"{type(exc).__name__}: {exc}"
         record["traceback"] = traceback.format_exc()
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
     record["wall_time_s"] = time.perf_counter() - started
     return record
 
@@ -210,10 +272,26 @@ class CampaignExecutor:
         debugging path); ``None`` uses the machine's CPU count.
     progress:
         Optional callback receiving each finished record.
+    bus:
+        Optional :class:`~repro.orchestrator.telemetrybus.TelemetryBus`.
+        When set, workers stream cell-started events and heartbeats over
+        its queue, and the executor emits finished/violation/obs events
+        per record — live campaign state with zero per-event cost when
+        absent (the default, and the path the bench overhead gate pins).
+    log_level:
+        CLI log level propagated into worker processes (workers
+        otherwise inherit whatever logging config ``fork`` copied).
+    heartbeat_interval_s:
+        Seconds between per-cell worker heartbeats when a bus is set.
     """
 
     def __init__(
-        self, workers: Optional[int] = 1, progress: Optional[ProgressCallback] = None
+        self,
+        workers: Optional[int] = 1,
+        progress: Optional[ProgressCallback] = None,
+        bus: Optional[TelemetryBus] = None,
+        log_level: Optional[str] = None,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
     ) -> None:
         if workers is None:
             workers = multiprocessing.cpu_count()
@@ -221,6 +299,9 @@ class CampaignExecutor:
             raise ValueError("workers must be at least 1")
         self.workers = workers
         self.progress = progress
+        self.bus = bus
+        self.log_level = log_level
+        self.heartbeat_interval_s = heartbeat_interval_s
 
     def run_campaign(
         self,
@@ -229,7 +310,15 @@ class CampaignExecutor:
         resume: bool = True,
     ) -> CampaignSummary:
         """Expand *campaign* and execute every pending grid point."""
-        return self.run_specs(campaign.expand(), store=store, resume=resume)
+        self._campaign_meta = {
+            "campaign": campaign.name,
+            "scenario": campaign.scenario,
+            "mode": campaign.mode,
+        }
+        try:
+            return self.run_specs(campaign.expand(), store=store, resume=resume)
+        finally:
+            self._campaign_meta = {}
 
     def run_specs(
         self,
@@ -244,27 +333,69 @@ class CampaignExecutor:
         pending = [spec for spec in specs if spec.spec_hash not in completed]
         summary = CampaignSummary(total=len(specs), skipped=len(specs) - len(pending))
 
-        for record in self._execute(pending):
-            summary.executed += 1
-            if record.get("status") != "ok":
-                summary.failed += 1
-            if store is not None:
-                store.append(record)
-            if self.progress is not None:
-                self.progress(record)
-            summary.records.append(record)
-
-        summary.wall_time_s = time.perf_counter() - started
+        if self.bus is not None:
+            self.bus.emit(
+                {
+                    "type": "campaign_started",
+                    "total": len(specs),
+                    "pending": len(pending),
+                    "skipped": summary.skipped,
+                    "workers": min(self.workers, len(pending)) or 1,
+                    **getattr(self, "_campaign_meta", {}),
+                }
+            )
+        try:
+            for record in self._execute(pending):
+                summary.executed += 1
+                if record.get("status") != "ok":
+                    summary.failed += 1
+                if store is not None:
+                    store.append(record)
+                if self.bus is not None:
+                    # Finished/violation/obs events come from the record on
+                    # the orchestrator side — the worker's copy of the bus
+                    # cannot know the final status before it returns it.
+                    self.bus.emit_record(record)
+                if self.progress is not None:
+                    self.progress(record)
+                summary.records.append(record)
+        finally:
+            summary.wall_time_s = time.perf_counter() - started
+            if self.bus is not None:
+                self.bus.emit(
+                    {
+                        "type": "campaign_finished",
+                        "executed": summary.executed,
+                        "failed": summary.failed,
+                        "skipped": summary.skipped,
+                        "wall_time_s": round(summary.wall_time_s, 4),
+                    }
+                )
         return summary
 
     def _execute(self, pending: Sequence[RunSpec]) -> Iterable[Dict[str, Any]]:
         if not pending:
             return
         if self.workers <= 1 or len(pending) == 1:
-            for spec in pending:
-                yield execute_run(spec)
+            # Serial path: same telemetry contract as the pool, armed
+            # in-process (and restored afterwards — figure experiments
+            # share this process).
+            with telemetrybus.worker_sink(
+                self.bus.queue.put if self.bus is not None else None,
+                self.heartbeat_interval_s,
+            ):
+                for spec in pending:
+                    yield execute_run(spec)
             return
         processes = min(self.workers, len(pending))
-        with multiprocessing.get_context().Pool(processes=processes) as pool:
+        with multiprocessing.get_context().Pool(
+            processes=processes,
+            initializer=_campaign_worker_init,
+            initargs=(
+                self.bus.queue if self.bus is not None else None,
+                self.log_level,
+                self.heartbeat_interval_s,
+            ),
+        ) as pool:
             for record in pool.imap_unordered(execute_run, pending):
                 yield record

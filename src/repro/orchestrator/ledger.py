@@ -1,0 +1,201 @@
+"""Cross-run ledger: index campaign stores and the bench history.
+
+One campaign run is observable through ``repro campaign serve``; this
+module is the *memory across runs*.  A :class:`RunLedger` scans the
+``results/`` directory for campaign stores (skipping the telemetry
+``.events.jsonl`` sidecars) and reads ``benchmarks/bench_history.jsonl``
+— the append-only record every ``repro bench`` run extends — so the CLI
+can answer "what ran here, and is throughput drifting?".
+
+:func:`detect_regression` is the ``repro bench trend`` core: a
+sliding-window check that flags a *sustained* drop (every sample in the
+trailing window below a threshold fraction of the pre-window median).
+The median baseline and all-of-window rule make it robust to the noise
+a single slow CI runner injects, while a genuine 2× regression trips it
+after ``window`` consecutive bench runs.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.orchestrator.store import ResultStore
+
+
+def _default_history_path() -> Path:
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "bench_history.jsonl"
+
+
+def dotted_get(data: Any, path: str) -> Optional[Any]:
+    """Resolve a dotted path like ``fast.packets_per_sec`` into *data*."""
+    current = data
+    for part in path.split("."):
+        if not isinstance(current, dict) or part not in current:
+            return None
+        current = current[part]
+    return current
+
+
+class RunLedger:
+    """Read-only index over campaign stores and the bench history."""
+
+    def __init__(
+        self,
+        results_root: Optional[Path] = None,
+        history_path: Optional[Path] = None,
+    ) -> None:
+        self.results_root = Path(results_root) if results_root is not None else Path("results")
+        self.history_path = (
+            Path(history_path) if history_path is not None else _default_history_path()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Campaign stores
+    # ------------------------------------------------------------------ #
+
+    def store_paths(self) -> List[Path]:
+        """Campaign store files under the results root, sorted by name."""
+        if not self.results_root.is_dir():
+            return []
+        return sorted(
+            path
+            for path in self.results_root.glob("*.jsonl")
+            if not path.name.endswith(".events.jsonl")
+        )
+
+    def campaign_runs(self) -> List[Dict[str, Any]]:
+        """One summary row per campaign store."""
+        rows = []
+        for path in self.store_paths():
+            latest = ResultStore(path).latest_by_hash()
+            statuses: Dict[str, int] = {}
+            violations = 0
+            for record in latest.values():
+                status = record.get("status", "ok")
+                statuses[status] = statuses.get(status, 0) + 1
+                violations += len(record.get("violations", []))
+            rows.append(
+                {
+                    "campaign": path.stem,
+                    "store": str(path),
+                    "cells": len(latest),
+                    "ok": statuses.get("ok", 0),
+                    "error": statuses.get("error", 0),
+                    "violation": statuses.get("violation", 0),
+                    "violations_total": violations,
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Bench history
+    # ------------------------------------------------------------------ #
+
+    def bench_entries(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Bench-history entries in append order, optionally one kind."""
+        if not self.history_path.exists():
+            return []
+        entries = []
+        with self.history_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(entry, dict):
+                    continue
+                if kind is not None and entry.get("kind") != kind:
+                    continue
+                entries.append(entry)
+        return entries
+
+    def bench_series(
+        self,
+        kind: str = "fastpath",
+        metric: str = "fast.packets_per_sec",
+    ) -> List[float]:
+        """The *metric* values of every *kind* entry, in history order."""
+        values = []
+        for entry in self.bench_entries(kind=kind):
+            value = dotted_get(entry, metric)
+            if isinstance(value, (int, float)):
+                values.append(float(value))
+        return values
+
+
+def detect_regression(
+    values: Sequence[float],
+    window: int = 3,
+    threshold: float = 0.25,
+) -> Dict[str, Any]:
+    """Flag a sustained drop in the trailing *window* of *values*.
+
+    Regressed iff *every* value in the trailing window sits below
+    ``(1 - threshold) × median(values before the window)``.  Requires
+    at least ``window + 1`` samples; with fewer, reports
+    ``insufficient history`` and never flags.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    values = [float(v) for v in values]
+    result: Dict[str, Any] = {
+        "samples": len(values),
+        "window": window,
+        "threshold": threshold,
+        "regressed": False,
+    }
+    if len(values) < window + 1:
+        result["reason"] = (
+            f"insufficient history ({len(values)} samples, need {window + 1})"
+        )
+        return result
+    baseline_values = values[:-window]
+    recent = values[-window:]
+    baseline = statistics.median(baseline_values)
+    floor = baseline * (1.0 - threshold)
+    recent_mean = sum(recent) / len(recent)
+    result.update(
+        {
+            "baseline": round(baseline, 4),
+            "floor": round(floor, 4),
+            "recent": [round(v, 4) for v in recent],
+            "recent_mean": round(recent_mean, 4),
+            "ratio": round(recent_mean / baseline, 4) if baseline else None,
+            "regressed": bool(baseline > 0 and all(v < floor for v in recent)),
+        }
+    )
+    if result["regressed"]:
+        result["reason"] = (
+            f"all {window} trailing samples below {floor:.4g} "
+            f"({(1.0 - threshold) * 100:.0f}% of baseline {baseline:.4g})"
+        )
+    return result
+
+
+def format_trend(result: Dict[str, Any], kind: str, metric: str) -> str:
+    """Human-readable ``repro bench trend`` report."""
+    lines = [f"bench trend: kind={kind} metric={metric}"]
+    lines.append(
+        f"  samples={result['samples']} window={result['window']} "
+        f"threshold={result['threshold']:.0%}"
+    )
+    if "baseline" in result:
+        lines.append(
+            f"  baseline={result['baseline']:.4g} floor={result['floor']:.4g} "
+            f"recent_mean={result['recent_mean']:.4g} ratio={result['ratio']}"
+        )
+    if result["regressed"]:
+        lines.append(f"  REGRESSION: {result['reason']}")
+    elif "reason" in result:
+        lines.append(f"  ok ({result['reason']})")
+    else:
+        lines.append("  ok (no sustained regression)")
+    return "\n".join(lines)

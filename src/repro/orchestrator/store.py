@@ -15,8 +15,11 @@ poisoning the whole store.
 from __future__ import annotations
 
 import json
+import logging
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Set
+
+logger = logging.getLogger("repro.orchestrator.store")
 
 
 class ResultStore:
@@ -44,17 +47,22 @@ class ResultStore:
         return list(self.iter_records())
 
     def iter_records(self) -> Iterator[Dict[str, Any]]:
-        """Yield records lazily; tolerate a corrupt/truncated line."""
+        """Yield records lazily; a corrupt/truncated line is skipped with a warning."""
         if not self.path.exists():
             return
         with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_no, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
+                    logger.warning(
+                        "%s:%d: skipping torn/malformed record (%d bytes) "
+                        "— likely a partial write from a killed run",
+                        self.path, line_no, len(line),
+                    )
                     continue
                 if isinstance(record, dict):
                     yield record
@@ -92,3 +100,9 @@ def default_store_path(campaign_name: str, root: Optional[Path] = None) -> Path:
     """The conventional store location for a campaign: ``results/<name>.jsonl``."""
     root = Path(root) if root is not None else Path("results")
     return root / f"{campaign_name}.jsonl"
+
+
+def events_path_for(store_path) -> Path:
+    """The telemetry-events sidecar next to a store: ``<name>.events.jsonl``."""
+    store_path = Path(store_path)
+    return store_path.with_name(f"{store_path.stem}.events.jsonl")

@@ -1,0 +1,589 @@
+"""Campaign telemetry bus: structured events from workers to live state.
+
+PR 6 made a single run observable; this module makes the *campaign*
+observable.  Worker processes stream structured events — cell started,
+heartbeats — over a multiprocessing queue; the orchestrating process
+adds the events only it can know (cell finished, invariant violations,
+per-cell observability summaries) as records come back from the pool.
+A :class:`TelemetryBus` drains the queue on a background thread into a
+:class:`CampaignMonitor`, which maintains the live campaign state the
+``repro campaign serve`` endpoints expose: progress, an ETA derived
+from completed-cell wall times, per-dimension slice statistics and a
+deduplicated violation ledger.
+
+Every event the bus sees is also appended to an NDJSON sidecar file
+(``results/<name>.events.jsonl`` by convention), which is what lets a
+*separate* ``repro campaign serve`` process attach to a running
+campaign: the server tails the sidecar while the campaign appends to
+it.  Post-hoc, the same monitor state is rebuilt from the result store
+alone via :func:`events_from_record` — live and replayed state agree by
+construction because both funnel through the same event shapes.
+
+Everything defaults off: a :class:`~repro.orchestrator.executor.
+CampaignExecutor` without a bus runs the exact pre-telemetry path,
+which is what the ``repro bench --bus-check`` overhead gate pins.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+
+logger = logging.getLogger("repro.orchestrator.telemetrybus")
+
+#: Event types the bus understands (anything else is carried verbatim —
+#: the monitor keeps unknown events in the ring so /events never lies).
+EVENT_TYPES = (
+    "campaign_started",
+    "cell_started",
+    "heartbeat",
+    "cell_finished",
+    "violation",
+    "obs_summary",
+    "campaign_finished",
+)
+
+#: Terminal cell statuses (mirrors the executor's record statuses).
+TERMINAL_STATUSES = ("ok", "error", "violation")
+
+#: Default seconds between worker heartbeats while a cell runs.
+DEFAULT_HEARTBEAT_INTERVAL_S = 5.0
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+# ---------------------------------------------------------------------- #
+# Worker side: emit into the queue, tag logs with the cell hash
+# ---------------------------------------------------------------------- #
+
+#: Callable delivering one event dict to the orchestrator (None = no bus).
+_WORKER_SINK: Optional[Callable[[Dict[str, Any]], None]] = None
+_WORKER_HEARTBEAT_S: float = DEFAULT_HEARTBEAT_INTERVAL_S
+
+#: The cell currently executing in this process ("-" outside a cell);
+#: worker log records are tagged with it (see :class:`CellTagFilter`).
+_CURRENT_CELL: str = "-"
+
+
+def install_worker_sink(
+    sink: Optional[Callable[[Dict[str, Any]], None]],
+    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+) -> None:
+    """Install the event delivery callable for this (worker) process."""
+    global _WORKER_SINK, _WORKER_HEARTBEAT_S
+    _WORKER_SINK = sink
+    _WORKER_HEARTBEAT_S = max(float(heartbeat_interval_s), 0.01)
+
+
+@contextmanager
+def worker_sink(
+    sink: Optional[Callable[[Dict[str, Any]], None]],
+    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+) -> Iterator[None]:
+    """Scoped :func:`install_worker_sink` — the serial executor's path."""
+    previous = (_WORKER_SINK, _WORKER_HEARTBEAT_S)
+    install_worker_sink(sink, heartbeat_interval_s)
+    try:
+        yield
+    finally:
+        install_worker_sink(previous[0], previous[1])
+
+
+def worker_emit(event: Dict[str, Any]) -> None:
+    """Deliver one event to the bus, if any; never raises into the run."""
+    sink = _WORKER_SINK
+    if sink is None:
+        return
+    event.setdefault("ts", time.time())
+    try:
+        sink(event)
+    except Exception:  # noqa: BLE001 - telemetry must never kill a cell
+        logger.debug("telemetry emit failed", exc_info=True)
+
+
+def current_cell_hash() -> str:
+    """The spec hash of the cell executing in this process ("-" if none)."""
+    return _CURRENT_CELL
+
+
+@contextmanager
+def cell_context(spec_hash: str) -> Iterator[None]:
+    """Mark *spec_hash* as the running cell (log tagging, heartbeats)."""
+    global _CURRENT_CELL
+    previous = _CURRENT_CELL
+    _CURRENT_CELL = spec_hash
+    try:
+        yield
+    finally:
+        _CURRENT_CELL = previous
+
+
+class CellTagFilter(logging.Filter):
+    """Stamps every record with the running cell's hash (``record.cell``)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.cell = _CURRENT_CELL
+        return True
+
+
+def configure_worker_logging(level_name: str) -> None:
+    """Install the campaign-worker stderr handler at *level_name*.
+
+    Mirrors the CLI's ``configure_logging`` (one handler on the
+    ``repro`` root, stderr only) but tags every record with the cell
+    hash so interleaved multi-worker output stays attributable.
+    """
+    if level_name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level_name!r}; expected one of {LOG_LEVELS}"
+        )
+    import sys
+
+    root = logging.getLogger("repro")
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s [cell %(cell)s]: %(message)s")
+    )
+    handler.addFilter(CellTagFilter())
+    root.handlers[:] = [handler]
+    root.setLevel(getattr(logging, level_name.upper()))
+    root.propagate = False
+
+
+class _HeartbeatThread(threading.Thread):
+    """Emits periodic heartbeats for one cell until stopped."""
+
+    def __init__(self, spec_hash: str, interval_s: float) -> None:
+        super().__init__(daemon=True, name=f"heartbeat-{spec_hash[:8]}")
+        self.spec_hash = spec_hash
+        self.interval_s = interval_s
+        self._stopped = threading.Event()
+
+    def run(self) -> None:
+        while not self._stopped.wait(self.interval_s):
+            worker_emit(
+                {"type": "heartbeat", "spec_hash": self.spec_hash, "pid": os.getpid()}
+            )
+
+    def stop(self) -> None:
+        self._stopped.set()
+
+
+def start_heartbeat(spec_hash: str) -> Optional[_HeartbeatThread]:
+    """Start a heartbeat thread for *spec_hash* (None when no bus)."""
+    if _WORKER_SINK is None:
+        return None
+    thread = _HeartbeatThread(spec_hash, _WORKER_HEARTBEAT_S)
+    thread.start()
+    return thread
+
+
+# ---------------------------------------------------------------------- #
+# Record -> events (shared by the live path and post-hoc store replay)
+# ---------------------------------------------------------------------- #
+
+
+def events_from_record(record: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """The bus events one finished result record implies.
+
+    The live executor emits exactly these as each record returns from
+    the pool, and post-hoc store replay synthesizes the same — which is
+    why a monitor rebuilt from the store alone agrees with the live one
+    on every cell, count and violation.
+    """
+    spec_hash = record.get("spec_hash")
+    base = {
+        "spec_hash": spec_hash,
+        "scenario": record.get("scenario"),
+        "params": dict(record.get("params", {})),
+    }
+    finished = {
+        "type": "cell_finished",
+        "status": record.get("status", "ok"),
+        "wall_time_s": record.get("wall_time_s"),
+        **base,
+    }
+    if record.get("error"):
+        finished["error"] = record["error"]
+    events = [finished]
+    for violation in record.get("violations", []):
+        events.append(
+            {
+                "type": "violation",
+                "spec_hash": spec_hash,
+                "scenario": violation.get("scenario") or record.get("scenario"),
+                "deployment": violation.get("deployment", ""),
+                "check": violation.get("check", ""),
+                "message": violation.get("message", ""),
+            }
+        )
+    if record.get("observability"):
+        events.append(
+            {
+                "type": "obs_summary",
+                "spec_hash": spec_hash,
+                "summaries": len(record["observability"]),
+                "deployments": [
+                    summary.get("deployment")
+                    for summary in record["observability"]
+                ],
+            }
+        )
+    return events
+
+
+# ---------------------------------------------------------------------- #
+# The monitor: live campaign state
+# ---------------------------------------------------------------------- #
+
+
+class CampaignMonitor:
+    """Aggregates bus events into the state the serve endpoints expose.
+
+    Thread-safe: the bus drain thread writes while HTTP handler threads
+    read.  All payload builders return plain JSON-serializable data.
+    """
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        campaign: Optional[str] = None,
+        scenario: Optional[str] = None,
+        mode: Optional[str] = None,
+        events_capacity: int = 4096,
+    ) -> None:
+        self._lock = threading.RLock()
+        self.campaign = campaign
+        self.scenario = scenario
+        self.mode = mode
+        self.total = total
+        self.workers: Optional[int] = None
+        self.skipped = 0
+        self.started_ts: Optional[float] = None
+        self.finished = False
+        self.cells: Dict[str, Dict[str, Any]] = {}
+        self.violations: List[Dict[str, Any]] = []
+        self._violation_keys: set = set()
+        self.events: deque = deque(maxlen=events_capacity)
+        self.events_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # Event intake
+    # ------------------------------------------------------------------ #
+
+    def _cell(self, event: Mapping[str, Any]) -> Dict[str, Any]:
+        spec_hash = event.get("spec_hash") or "?"
+        cell = self.cells.get(spec_hash)
+        if cell is None:
+            cell = {
+                "spec_hash": spec_hash,
+                "scenario": event.get("scenario"),
+                "params": dict(event.get("params") or {}),
+                "status": "running",
+                "wall_time_s": None,
+                "violations": 0,
+            }
+            self.cells[spec_hash] = cell
+        return cell
+
+    def handle(self, event: Mapping[str, Any]) -> None:
+        """Fold one event into the state (unknown types only hit the ring)."""
+        etype = event.get("type")
+        with self._lock:
+            self.events_seen += 1
+            stored = dict(event)
+            # Live events are stamped at emit; replayed store records are
+            # not — stamp the ring copy so /events lines always validate.
+            stored.setdefault("ts", time.time())
+            self.events.append(stored)
+            if etype == "campaign_started":
+                for attr in ("campaign", "scenario", "mode"):
+                    if getattr(self, attr) is None and event.get(attr) is not None:
+                        setattr(self, attr, event[attr])
+                if self.total is None and event.get("total") is not None:
+                    self.total = int(event["total"])
+                if event.get("workers"):
+                    self.workers = int(event["workers"])
+                self.skipped = int(event.get("skipped", self.skipped) or 0)
+                if self.started_ts is None:
+                    self.started_ts = event.get("ts")
+                self.finished = False
+            elif etype == "cell_started":
+                cell = self._cell(event)
+                if cell["status"] not in TERMINAL_STATUSES:
+                    cell["status"] = "running"
+                cell["started_ts"] = event.get("ts")
+                if event.get("pid") is not None:
+                    cell["pid"] = event["pid"]
+            elif etype == "heartbeat":
+                cell = self._cell(event)
+                cell["heartbeat_ts"] = event.get("ts")
+            elif etype == "cell_finished":
+                cell = self._cell(event)
+                cell["status"] = event.get("status", "ok")
+                cell["wall_time_s"] = event.get("wall_time_s")
+                if event.get("scenario"):
+                    cell["scenario"] = event["scenario"]
+                if event.get("params"):
+                    cell["params"] = dict(event["params"])
+                if event.get("error"):
+                    cell["error"] = event["error"]
+                if event.get("ts") is not None:
+                    cell["finished_ts"] = event["ts"]
+            elif etype == "violation":
+                key = (
+                    event.get("spec_hash"),
+                    event.get("check"),
+                    event.get("deployment"),
+                    event.get("message"),
+                )
+                if key not in self._violation_keys:
+                    self._violation_keys.add(key)
+                    entry = {
+                        "spec_hash": event.get("spec_hash"),
+                        "scenario": event.get("scenario"),
+                        "deployment": event.get("deployment", ""),
+                        "check": event.get("check", ""),
+                        "message": event.get("message", ""),
+                    }
+                    if event.get("ts") is not None:
+                        entry["ts"] = event["ts"]
+                    self.violations.append(entry)
+                    self._cell(event)["violations"] += 1
+            elif etype == "obs_summary":
+                cell = self._cell(event)
+                cell["obs_summaries"] = event.get("summaries", 0)
+            elif etype == "campaign_finished":
+                self.finished = True
+
+    def has_terminal(self, spec_hash: str) -> bool:
+        """True when *spec_hash* already has a terminal record folded in."""
+        with self._lock:
+            cell = self.cells.get(spec_hash)
+            return bool(cell and cell["status"] in TERMINAL_STATUSES)
+
+    # ------------------------------------------------------------------ #
+    # Payloads (repro.campaign/v1)
+    # ------------------------------------------------------------------ #
+
+    def status(self) -> Dict[str, Any]:
+        """The `/status` payload: progress, ETA, slice stats."""
+        from repro.obs.schema import CAMPAIGN_SCHEMA
+
+        with self._lock:
+            by_status: Dict[str, int] = {"ok": 0, "error": 0, "violation": 0, "running": 0}
+            wall_times: List[float] = []
+            for cell in self.cells.values():
+                status = cell["status"]
+                by_status[status] = by_status.get(status, 0) + 1
+                if status in TERMINAL_STATUSES and cell["wall_time_s"] is not None:
+                    wall_times.append(float(cell["wall_time_s"]))
+            done = sum(by_status.get(name, 0) for name in TERMINAL_STATUSES)
+            total = self.total if self.total is not None else len(self.cells)
+            running = by_status.get("running", 0)
+            pending = max(total - done - running, 0)
+            mean_wall = (sum(wall_times) / len(wall_times)) if wall_times else None
+            if self.finished or (total and done >= total):
+                state = "finished"
+                eta_s: Optional[float] = 0.0
+            else:
+                state = "running" if running else "idle"
+                if mean_wall is not None and total:
+                    eta_s = round(
+                        mean_wall * (total - done) / max(self.workers or 1, 1), 3
+                    )
+                else:
+                    eta_s = None
+            elapsed_s = (
+                round(time.time() - self.started_ts, 3)
+                if self.started_ts is not None and state != "finished"
+                else None
+            )
+            return {
+                "schema": CAMPAIGN_SCHEMA,
+                "type": "status",
+                "campaign": self.campaign,
+                "scenario": self.scenario,
+                "mode": self.mode,
+                "state": state,
+                "cells_total": total,
+                "cells_done": done,
+                "cells_ok": by_status.get("ok", 0),
+                "cells_error": by_status.get("error", 0),
+                "cells_violation": by_status.get("violation", 0),
+                "cells_running": running,
+                "cells_pending": pending,
+                "violations_total": len(self.violations),
+                "progress": round(done / total, 4) if total else 0.0,
+                "mean_cell_wall_s": round(mean_wall, 4) if mean_wall is not None else None,
+                "eta_s": eta_s,
+                "elapsed_s": elapsed_s,
+                "workers": self.workers,
+                "events_seen": self.events_seen,
+                "slices": self._slices(),
+            }
+
+    def _slices(self) -> Dict[str, Dict[str, Dict[str, Any]]]:
+        """Per-dimension slice stats over terminal cells (lock held)."""
+        slices: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        for cell in self.cells.values():
+            if cell["status"] not in TERMINAL_STATUSES:
+                continue
+            for axis, value in (cell.get("params") or {}).items():
+                bucket = slices.setdefault(axis, {}).setdefault(
+                    str(value),
+                    {"cells": 0, "ok": 0, "failed": 0, "violations": 0, "wall_s": 0.0},
+                )
+                bucket["cells"] += 1
+                if cell["status"] == "ok":
+                    bucket["ok"] += 1
+                else:
+                    bucket["failed"] += 1
+                bucket["violations"] += cell.get("violations", 0)
+                if cell["wall_time_s"] is not None:
+                    bucket["wall_s"] = round(
+                        bucket["wall_s"] + float(cell["wall_time_s"]), 4
+                    )
+        for buckets in slices.values():
+            for bucket in buckets.values():
+                bucket["mean_wall_s"] = (
+                    round(bucket.pop("wall_s") / bucket["cells"], 4)
+                    if bucket["cells"]
+                    else None
+                )
+        return slices
+
+    def cells_payload(self) -> Dict[str, Any]:
+        """The `/cells` payload: one entry per known cell, stable order."""
+        from repro.obs.schema import CAMPAIGN_SCHEMA
+
+        with self._lock:
+            return {
+                "schema": CAMPAIGN_SCHEMA,
+                "type": "cells",
+                "campaign": self.campaign,
+                "cells": [dict(cell) for cell in self.cells.values()],
+            }
+
+    def violations_payload(self) -> Dict[str, Any]:
+        """The `/violations` payload: the deduplicated ledger, in order."""
+        from repro.obs.schema import CAMPAIGN_SCHEMA
+
+        with self._lock:
+            return {
+                "schema": CAMPAIGN_SCHEMA,
+                "type": "violations",
+                "campaign": self.campaign,
+                "violations": [dict(entry) for entry in self.violations],
+            }
+
+    def events_tail(self, limit: int = 100) -> List[Dict[str, Any]]:
+        """The most recent *limit* events, oldest first."""
+        with self._lock:
+            tail = list(self.events)
+        if limit >= 0:
+            tail = tail[-limit:] if limit else []
+        return tail
+
+
+# ---------------------------------------------------------------------- #
+# The bus: queue + drain thread + NDJSON sidecar
+# ---------------------------------------------------------------------- #
+
+
+class TelemetryBus:
+    """Streams campaign events into a monitor and an NDJSON sidecar.
+
+    The orchestrating process owns the bus: workers put events on
+    :attr:`queue` (handed to them through the pool initializer), the
+    executor emits its own events via :meth:`emit`, and a daemon thread
+    drains everything in arrival order into the monitor and the events
+    file.  :meth:`stop` is a barrier — it returns only after every
+    queued event has been dispatched, so callers that stop the bus
+    after the executor returns observe complete state.
+    """
+
+    def __init__(
+        self,
+        events_path: Optional[Path] = None,
+        monitor: Optional[CampaignMonitor] = None,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+    ) -> None:
+        self._ctx = multiprocessing.get_context()
+        self.queue = self._ctx.Queue()
+        self.monitor = monitor if monitor is not None else CampaignMonitor()
+        self.events_path = Path(events_path) if events_path is not None else None
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self._thread: Optional[threading.Thread] = None
+        self._handle = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "TelemetryBus":
+        """Open the sidecar and start draining (idempotent)."""
+        if self.running:
+            return self
+        if self.events_path is not None and self._handle is None:
+            self.events_path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.events_path.open("a", encoding="utf-8")
+        self._thread = threading.Thread(
+            target=self._drain, daemon=True, name="telemetry-bus"
+        )
+        self._thread.start()
+        return self
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Enqueue one orchestrator-side event (stamped with wall time)."""
+        event.setdefault("ts", time.time())
+        self.queue.put(event)
+
+    def emit_record(self, record: Mapping[str, Any]) -> None:
+        """Emit the finished/violation/obs events one record implies."""
+        for event in events_from_record(record):
+            self.emit(event)
+
+    def _drain(self) -> None:
+        while True:
+            event = self.queue.get()
+            if event is None:
+                break
+            self._dispatch(event)
+
+    def _dispatch(self, event: Dict[str, Any]) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+                self._handle.flush()
+            except OSError:
+                logger.warning("could not append to %s", self.events_path)
+        try:
+            self.monitor.handle(event)
+        except Exception:  # noqa: BLE001 - a bad event must not kill the drain
+            logger.exception("monitor rejected event %r", event.get("type"))
+
+    def stop(self) -> None:
+        """Drain everything already queued, then stop the thread."""
+        if not self.running:
+            return
+        self.queue.put(None)
+        self._thread.join()
+        self._thread = None
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TelemetryBus":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,116 @@
+"""Per-cell observability exports under the multiprocess executor.
+
+A campaign ``observe:`` block with an ``out_dir`` key must land every
+cell's exports in a collision-free per-cell directory (keyed by spec
+hash), with every summary and every file schema-valid — across a 3×2
+grid executed by pool workers.
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs.schema import (
+    validate_metrics,
+    validate_observation_summary,
+    validate_profile,
+)
+from repro.orchestrator import CampaignExecutor, CampaignSpec, ResultStore
+
+FAST = 0.05
+
+
+def observed_campaign(out_dir, **kwargs):
+    defaults = dict(
+        name="obs-grid",
+        scenario="fw_nat_lb_10ge",
+        grid={"send_rate_gbps": [2.0, 4.0, 6.0], "expiry_threshold": [1, 4]},
+        time_scale=FAST,
+        options={
+            "observe": {"metrics": True, "profile": True, "out_dir": str(out_dir)},
+        },
+    )
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+class TestCampaignObserveOutDirs:
+    def test_multiprocess_grid_exports_per_cell(self, tmp_path):
+        out_dir = tmp_path / "observations"
+        store = ResultStore(tmp_path / "obs-grid.jsonl")
+        campaign = observed_campaign(out_dir)
+
+        summary = CampaignExecutor(workers=3).run_campaign(campaign, store=store)
+        assert summary.executed == 6
+        assert summary.failed == 0
+
+        records = store.load()
+        assert len(records) == 6
+
+        export_dirs = [record["observability_dir"] for record in records]
+        # One directory per cell, keyed by spec hash: no collisions.
+        assert len(set(export_dirs)) == 6
+        hashes = {record["spec_hash"] for record in records}
+        assert {str(out_dir / h) for h in hashes} == set(export_dirs)
+
+        all_files = []
+        for record in records:
+            # Each compare-mode cell observes both deployments.
+            assert len(record["observability"]) == 2
+            for summary_digest in record["observability"]:
+                validate_observation_summary(summary_digest)
+                assert summary_digest["metrics"]["samples_taken"] > 0
+                assert summary_digest["profile"]["total_wall_ns"] > 0
+            files = record["observability_files"]
+            # metrics + profile for each of the two deployment runs.
+            assert len(files) == 4
+            all_files.extend(files)
+            for name in files:
+                path = Path(name)
+                assert path.exists(), f"missing export {name}"
+                assert str(path).startswith(record["observability_dir"])
+                data = json.loads(path.read_text())
+                if name.endswith(".metrics.json"):
+                    validate_metrics(data)
+                elif name.endswith(".profile.json"):
+                    validate_profile(data)
+
+        # Global collision check across every exported artifact.
+        assert len(all_files) == len(set(all_files)) == 24
+
+    def test_serial_path_exports_identically(self, tmp_path):
+        out_dir = tmp_path / "observations"
+        store = ResultStore(tmp_path / "serial.jsonl")
+        campaign = observed_campaign(
+            out_dir,
+            name="obs-serial",
+            grid={"send_rate_gbps": [2.0], "expiry_threshold": [1]},
+        )
+        summary = CampaignExecutor(workers=1).run_campaign(campaign, store=store)
+        assert summary.failed == 0
+        (record,) = store.load()
+        assert len(record["observability_files"]) == 4
+        for name in record["observability_files"]:
+            assert Path(name).exists()
+
+    def test_out_dir_changes_spec_identity(self, tmp_path):
+        # out_dir lives in options, which feed the spec hash: pointing
+        # the same grid at a new directory re-executes rather than
+        # silently resuming with exports in the old place.
+        a = observed_campaign(tmp_path / "a").expand()[0]
+        b = observed_campaign(tmp_path / "b").expand()[0]
+        assert a.spec_hash != b.spec_hash
+
+    def test_observe_without_out_dir_keeps_summaries_only(self, tmp_path):
+        store = ResultStore(tmp_path / "no-dir.jsonl")
+        campaign = observed_campaign(
+            tmp_path / "unused",
+            name="no-dir",
+            grid={"send_rate_gbps": [2.0], "expiry_threshold": [1]},
+            options={"observe": {"metrics": True}},
+        )
+        summary = CampaignExecutor(workers=1).run_campaign(campaign, store=store)
+        assert summary.failed == 0
+        (record,) = store.load()
+        assert "observability" in record
+        assert "observability_dir" not in record
+        assert not (tmp_path / "unused").exists()

@@ -1,0 +1,233 @@
+"""Unit tests for the `repro campaign serve` HTTP layer."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.schema import (
+    SchemaError,
+    validate_campaign_cells,
+    validate_campaign_event,
+    validate_campaign_status,
+    validate_campaign_violations,
+)
+from repro.orchestrator.serve import (
+    CampaignServer,
+    StoreFollower,
+    monitor_from_store,
+    prometheus_text,
+)
+from repro.orchestrator.store import ResultStore, events_path_for
+from repro.orchestrator.telemetrybus import CampaignMonitor
+
+
+def _record(spec_hash, status="ok", violations=None, wall=1.0):
+    record = {
+        "spec_hash": spec_hash,
+        "scenario": "fw_nat_lb_10ge",
+        "params": {"send_rate_gbps": 4.0},
+        "status": status,
+        "wall_time_s": wall,
+    }
+    if violations is not None:
+        record["violations"] = violations
+    return record
+
+
+def _populated_monitor():
+    monitor = CampaignMonitor(total=3, campaign="demo")
+    monitor.handle({"type": "campaign_started", "total": 3, "workers": 2,
+                    "campaign": "demo", "ts": 1.0})
+    monitor.handle({"type": "cell_finished", "spec_hash": "a", "scenario": "s",
+                    "params": {"rate": 2}, "status": "ok", "wall_time_s": 1.0})
+    monitor.handle({"type": "violation", "spec_hash": "b", "scenario": "s",
+                    "deployment": "payloadpark", "check": "c", "message": "m"})
+    monitor.handle({"type": "cell_finished", "spec_hash": "b", "scenario": "s",
+                    "params": {"rate": 4}, "status": "violation",
+                    "wall_time_s": 2.0})
+    return monitor
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read()
+
+
+class TestEndpoints:
+    @pytest.fixture()
+    def server(self):
+        with CampaignServer(_populated_monitor()) as srv:
+            yield srv
+
+    def test_status_is_schema_valid_json(self, server):
+        code, headers, body = _get(server.url + "/status")
+        assert code == 200
+        assert headers["Content-Type"] == "application/json"
+        status = validate_campaign_status(json.loads(body))
+        assert status["cells_done"] == 2
+        assert status["violations_total"] == 1
+
+    def test_cells_lists_every_known_cell(self, server):
+        _, _, body = _get(server.url + "/cells")
+        payload = validate_campaign_cells(json.loads(body))
+        assert {cell["spec_hash"] for cell in payload["cells"]} == {"a", "b"}
+
+    def test_violations_ledger(self, server):
+        _, _, body = _get(server.url + "/violations")
+        payload = validate_campaign_violations(json.loads(body))
+        assert payload["violations"][0]["check"] == "c"
+
+    def test_events_ndjson_tail_respects_n(self, server):
+        _, headers, body = _get(server.url + "/events?n=2")
+        assert headers["Content-Type"] == "application/x-ndjson"
+        lines = body.decode().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            validate_campaign_event(json.loads(line))
+
+    def test_events_rejects_non_integer_n(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/events?n=lots")
+        assert excinfo.value.code == 400
+
+    def test_metrics_is_prometheus_text(self, server):
+        _, headers, body = _get(server.url + "/metrics")
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        text = body.decode()
+        assert 'repro_campaign_cells{campaign="demo",state="ok"} 1' in text
+        assert 'repro_campaign_violations_total{campaign="demo"} 1' in text
+
+    def test_index_names_the_endpoints(self, server):
+        _, _, body = _get(server.url + "/")
+        assert "/status" in json.loads(body)["endpoints"]
+
+    def test_unknown_route_404s_with_index(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestPrometheusText:
+    def test_renders_every_core_metric(self):
+        text = prometheus_text(_populated_monitor().status())
+        for name in ("repro_campaign_cells_total", "repro_campaign_cells_done",
+                     "repro_campaign_progress", "repro_campaign_eta_seconds",
+                     "repro_campaign_violations_total"):
+            assert f"# TYPE {name} " in text
+
+    def test_unlabelled_when_campaign_unknown(self):
+        monitor = CampaignMonitor(total=1)
+        text = prometheus_text(monitor.status())
+        assert "repro_campaign_cells_total 1" in text
+
+
+class TestMonitorFromStore:
+    def test_replays_latest_records(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        store.append(_record("a", status="error"))
+        store.append(_record("a", status="ok"))  # retry supersedes
+        store.append(_record(
+            "b", status="violation",
+            violations=[{"check": "c", "message": "m", "scenario": "s",
+                         "deployment": "payloadpark"}],
+        ))
+        monitor = monitor_from_store(store=store)
+        status = validate_campaign_status(monitor.status())
+        assert status["cells_ok"] == 1
+        assert status["cells_violation"] == 1
+        assert status["cells_error"] == 0  # superseded by the retry
+        assert status["violations_total"] == 1
+
+    def test_empty_store_serves_clean_state(self, tmp_path):
+        monitor = monitor_from_store(store=ResultStore(tmp_path / "x.jsonl"))
+        status = validate_campaign_status(monitor.status())
+        assert status["cells_total"] == 0
+        assert status["state"] == "idle"
+
+
+class TestStoreFollower:
+    def test_follows_appends_exactly_once(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        monitor = CampaignMonitor(total=2)
+        follower = StoreFollower(monitor, store.path)
+        assert follower.poll_once() == 0
+        store.append(_record("a"))
+        assert follower.poll_once() == 1
+        assert follower.poll_once() == 0  # offset advanced; no re-fold
+        store.append(_record("b"))
+        follower.poll_once()
+        assert monitor.status()["cells_done"] == 2
+
+    def test_torn_tail_line_waits_for_completion(self, tmp_path):
+        store_path = tmp_path / "c.jsonl"
+        monitor = CampaignMonitor(total=1)
+        follower = StoreFollower(monitor, store_path)
+        with store_path.open("w") as handle:
+            handle.write(json.dumps(_record("a"))[:20])  # torn, no newline
+        assert follower.poll_once() == 0
+        with store_path.open("w") as handle:
+            handle.write(json.dumps(_record("a")) + "\n")
+        assert follower.poll_once() == 1
+
+    def test_events_sidecar_takes_precedence_over_store(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        events_path = events_path_for(store.path)
+        monitor = CampaignMonitor(total=1)
+        follower = StoreFollower(monitor, store.path, events_path)
+        violation = {"check": "c", "message": "m", "scenario": "s",
+                     "deployment": "payloadpark"}
+        with events_path.open("w") as handle:
+            for event in (
+                {"type": "cell_finished", "spec_hash": "a", "scenario": "s",
+                 "params": {}, "status": "violation", "wall_time_s": 1.0,
+                 "ts": 1.0},
+                {"type": "violation", "spec_hash": "a", "ts": 1.0, **violation},
+            ):
+                handle.write(json.dumps(event) + "\n")
+        store.append(_record("a", status="violation", violations=[violation]))
+        follower.poll_once()
+        # The store record must not double-count the sidecar's events.
+        status = monitor.status()
+        assert status["cells_done"] == 1
+        assert status["violations_total"] == 1
+
+    def test_thread_lifecycle(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        monitor = CampaignMonitor(total=1)
+        follower = StoreFollower(monitor, store.path, poll_interval_s=0.02)
+        follower.start()
+        store.append(_record("a"))
+        deadline = 5.0
+        import time
+        while monitor.status()["cells_done"] < 1 and deadline > 0:
+            time.sleep(0.02)
+            deadline -= 0.02
+        follower.stop()
+        assert monitor.status()["cells_done"] == 1
+
+
+class TestCampaignSchemas:
+    def test_status_rejects_wrong_schema(self):
+        status = _populated_monitor().status()
+        status["schema"] = "repro.metrics/v1"
+        with pytest.raises(SchemaError, match="schema"):
+            validate_campaign_status(status)
+
+    def test_status_rejects_inconsistent_counts(self):
+        status = _populated_monitor().status()
+        status["cells_done"] = 99
+        with pytest.raises(SchemaError, match="cells_done"):
+            validate_campaign_status(status)
+
+    def test_cells_rejects_duplicate_hashes(self):
+        payload = _populated_monitor().cells_payload()
+        payload["cells"].append(dict(payload["cells"][0]))
+        with pytest.raises(SchemaError, match="duplicate"):
+            validate_campaign_cells(payload)
+
+    def test_event_requires_spec_hash_for_cell_events(self):
+        with pytest.raises(SchemaError, match="spec_hash"):
+            validate_campaign_event({"type": "cell_finished", "ts": 1.0})
+        validate_campaign_event({"type": "campaign_started", "ts": 1.0})

@@ -1,0 +1,192 @@
+"""Unit tests for the cross-run ledger, bench trend, and obs diff."""
+
+import json
+
+import pytest
+
+from repro.obs.diff import diff_metrics, format_diff, load_metrics_export
+from repro.obs.schema import SchemaError
+from repro.orchestrator.ledger import (
+    RunLedger,
+    detect_regression,
+    dotted_get,
+    format_trend,
+)
+from repro.orchestrator.store import ResultStore
+
+
+def _history(tmp_path, values, kind="fastpath"):
+    path = tmp_path / "bench_history.jsonl"
+    with path.open("w") as handle:
+        for value in values:
+            handle.write(json.dumps(
+                {"kind": kind, "fast": {"packets_per_sec": value}}
+            ) + "\n")
+    return path
+
+
+def _metrics_export(counters=None, gauges=None, series=None):
+    return {
+        "schema": "repro.metrics/v1",
+        "sample_interval_ns": 50_000,
+        "samples_taken": 10,
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "histograms": {},
+        "series": series or {},
+    }
+
+
+class TestDetectRegression:
+    def test_flags_a_sustained_2x_drop(self):
+        values = [100.0, 102.0, 98.0, 101.0, 50.0, 49.0, 51.0]
+        result = detect_regression(values, window=3, threshold=0.25)
+        assert result["regressed"]
+        assert result["baseline"] == pytest.approx(100.5)
+        assert "below" in result["reason"]
+
+    def test_quiet_on_flat_history_with_noise(self):
+        values = [100.0, 104.0, 97.0, 101.0, 95.0, 103.0, 99.0]
+        assert not detect_regression(values, window=3, threshold=0.25)["regressed"]
+
+    def test_single_bad_sample_does_not_flag(self):
+        # One noisy run in the window is not a sustained regression.
+        values = [100.0, 100.0, 100.0, 100.0, 40.0, 100.0, 100.0]
+        assert not detect_regression(values, window=3, threshold=0.25)["regressed"]
+
+    def test_insufficient_history_is_quiet(self):
+        result = detect_regression([100.0, 50.0], window=3)
+        assert not result["regressed"]
+        assert "insufficient history" in result["reason"]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            detect_regression([1.0], window=0)
+        with pytest.raises(ValueError, match="threshold"):
+            detect_regression([1.0], threshold=1.5)
+
+    def test_format_trend_mentions_regression(self):
+        result = detect_regression([100.0] * 4 + [10.0] * 3, window=3)
+        text = format_trend(result, "fastpath", "fast.packets_per_sec")
+        assert "REGRESSION" in text
+        quiet = detect_regression([100.0] * 7, window=3)
+        assert "ok" in format_trend(quiet, "fastpath", "fast.packets_per_sec")
+
+
+class TestRunLedger:
+    def test_bench_series_extracts_dotted_metric_in_order(self, tmp_path):
+        history = _history(tmp_path, [10.0, 20.0, 30.0])
+        ledger = RunLedger(history_path=history)
+        assert ledger.bench_series() == [10.0, 20.0, 30.0]
+
+    def test_bench_entries_filter_by_kind_and_skip_junk(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(
+            json.dumps({"kind": "fastpath", "fast": {"packets_per_sec": 1.0}})
+            + "\nnot json\n"
+            + json.dumps({"kind": "obs_overhead", "disabled_over_off": 0.99})
+            + "\n"
+        )
+        ledger = RunLedger(history_path=path)
+        assert len(ledger.bench_entries()) == 2
+        assert len(ledger.bench_entries(kind="fastpath")) == 1
+
+    def test_missing_history_is_empty(self, tmp_path):
+        ledger = RunLedger(history_path=tmp_path / "absent.jsonl")
+        assert ledger.bench_entries() == []
+        assert ledger.bench_series() == []
+
+    def test_campaign_runs_skip_events_sidecars(self, tmp_path):
+        store = ResultStore(tmp_path / "grid.jsonl")
+        store.append({"spec_hash": "a", "status": "ok"})
+        store.append({"spec_hash": "b", "status": "violation",
+                      "violations": [{"check": "c", "message": "m"}]})
+        (tmp_path / "grid.events.jsonl").write_text("{}\n")
+        rows = RunLedger(results_root=tmp_path).campaign_runs()
+        assert len(rows) == 1
+        assert rows[0]["campaign"] == "grid"
+        assert rows[0]["cells"] == 2
+        assert rows[0]["violation"] == 1
+        assert rows[0]["violations_total"] == 1
+
+    def test_dotted_get(self):
+        assert dotted_get({"a": {"b": 3}}, "a.b") == 3
+        assert dotted_get({"a": {"b": 3}}, "a.c") is None
+        assert dotted_get({"a": 1}, "a.b") is None
+
+
+class TestObsDiff:
+    def test_counter_and_gauge_deltas(self):
+        a = _metrics_export(counters={"parked": 100}, gauges={"occupancy": 0.5})
+        b = _metrics_export(counters={"parked": 150}, gauges={"occupancy": 0.25})
+        diff = diff_metrics(a, b)
+        assert diff["counters"]["parked"]["delta"] == 50
+        assert diff["counters"]["parked"]["percent"] == pytest.approx(50.0)
+        assert diff["gauges"]["occupancy"]["percent"] == pytest.approx(-50.0)
+
+    def test_one_sided_metrics_marked(self):
+        diff = diff_metrics(
+            _metrics_export(counters={"old_only": 1}),
+            _metrics_export(counters={"new_only": 2}),
+        )
+        assert diff["counters"]["old_only"]["b"] is None
+        assert diff["counters"]["new_only"]["a"] is None
+        text = format_diff(diff)
+        assert "new" in text and "gone" in text
+
+    def test_series_compared_on_final_value(self):
+        a = _metrics_export(series={"goodput": {
+            "kind": "gauge", "points": [[0, 1.0], [1, 2.0]], "dropped_samples": 0}})
+        b = _metrics_export(series={"goodput": {
+            "kind": "gauge", "points": [[0, 1.0], [1, 4.0]], "dropped_samples": 0}})
+        diff = diff_metrics(a, b)
+        assert diff["series_last"]["goodput"]["delta"] == pytest.approx(2.0)
+
+    def test_histogram_count_and_mean_deltas(self):
+        a = _metrics_export()
+        b = _metrics_export()
+        a["histograms"]["lat"] = {"bounds": [1], "counts": [2, 0], "count": 2,
+                                  "mean": 0.5}
+        b["histograms"]["lat"] = {"bounds": [1], "counts": [3, 1], "count": 4,
+                                  "mean": 0.75}
+        diff = diff_metrics(a, b)
+        assert diff["histograms"]["lat"]["count_delta"] == 2
+        assert diff["histograms"]["lat"]["mean_delta"] == pytest.approx(0.25)
+
+    def test_format_diff_sorts_biggest_movers_first(self):
+        a = _metrics_export(counters={"small": 100, "big": 100})
+        b = _metrics_export(counters={"small": 101, "big": 300})
+        text = format_diff(diff_metrics(a, b))
+        assert text.index("big") < text.index("small")
+
+    def test_empty_diff_renders_placeholder(self):
+        assert "no comparable metrics" in format_diff(
+            diff_metrics(_metrics_export(), _metrics_export())
+        )
+
+
+class TestLoadMetricsExport:
+    def test_loads_file_and_validates(self, tmp_path):
+        path = tmp_path / "run.metrics.json"
+        path.write_text(json.dumps(_metrics_export(counters={"x": 1})))
+        assert load_metrics_export(path)["counters"]["x"] == 1
+
+    def test_directory_with_single_export(self, tmp_path):
+        (tmp_path / "a.metrics.json").write_text(json.dumps(_metrics_export()))
+        assert load_metrics_export(tmp_path)["schema"] == "repro.metrics/v1"
+
+    def test_directory_without_export_fails(self, tmp_path):
+        with pytest.raises(SchemaError, match="no .*metrics.json"):
+            load_metrics_export(tmp_path)
+
+    def test_ambiguous_directory_fails(self, tmp_path):
+        (tmp_path / "a.metrics.json").write_text(json.dumps(_metrics_export()))
+        (tmp_path / "b.metrics.json").write_text(json.dumps(_metrics_export()))
+        with pytest.raises(SchemaError, match="ambiguous"):
+            load_metrics_export(tmp_path)
+
+    def test_invalid_json_fails(self, tmp_path):
+        path = tmp_path / "bad.metrics.json"
+        path.write_text("{nope")
+        with pytest.raises(SchemaError, match="unreadable"):
+            load_metrics_export(path)

@@ -190,6 +190,35 @@ class TestResultStore:
         store.append({"spec_hash": "cc", "status": "ok"})
         assert store.completed_hashes() == {"aa", "cc"}
 
+    def test_corrupt_trailing_line_warns(self, tmp_path):
+        import logging
+
+        path = tmp_path / "runs.jsonl"
+        store = ResultStore(path)
+        store.append({"spec_hash": "aa", "status": "ok"})
+        with path.open("a") as handle:
+            handle.write('{"spec_hash": "bb", "status": "o')  # truncated record
+        # The CLI's stderr handler sets propagate=False on the "repro"
+        # root, so listen on the store's own logger directly.
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        store_logger = logging.getLogger("repro.orchestrator.store")
+        handler = Capture()
+        store_logger.addHandler(handler)
+        try:
+            assert [r["spec_hash"] for r in store.load()] == ["aa"]
+        finally:
+            store_logger.removeHandler(handler)
+        assert len(records) == 1
+        assert records[0].levelno == logging.WARNING
+        message = records[0].getMessage()
+        assert str(path) in message and ":2:" in message
+        assert "torn" in message
+
     def test_latest_record_wins(self, tmp_path):
         store = ResultStore(tmp_path / "runs.jsonl")
         store.append({"spec_hash": "aa", "status": "ok", "metrics": {"x": 1}})

@@ -1,0 +1,269 @@
+"""Unit tests for the campaign telemetry bus and monitor."""
+
+import json
+import logging
+import time
+
+import pytest
+
+from repro.orchestrator.telemetrybus import (
+    CampaignMonitor,
+    CellTagFilter,
+    TelemetryBus,
+    cell_context,
+    configure_worker_logging,
+    current_cell_hash,
+    events_from_record,
+    install_worker_sink,
+    start_heartbeat,
+    worker_emit,
+    worker_sink,
+)
+
+
+def _finished(spec_hash, status="ok", wall=1.0, params=None, **extra):
+    return {
+        "type": "cell_finished",
+        "spec_hash": spec_hash,
+        "scenario": "fw_nat_lb_10ge",
+        "params": params or {"send_rate_gbps": 4.0},
+        "status": status,
+        "wall_time_s": wall,
+        "ts": 100.0,
+        **extra,
+    }
+
+
+class TestEventsFromRecord:
+    def test_plain_ok_record_yields_one_finished_event(self):
+        events = events_from_record(
+            {
+                "spec_hash": "abc",
+                "scenario": "fw_nat_lb_10ge",
+                "params": {"send_rate_gbps": 2.0},
+                "status": "ok",
+                "wall_time_s": 1.5,
+            }
+        )
+        assert [event["type"] for event in events] == ["cell_finished"]
+        assert events[0]["spec_hash"] == "abc"
+        assert events[0]["wall_time_s"] == 1.5
+
+    def test_violations_and_observability_become_events(self):
+        events = events_from_record(
+            {
+                "spec_hash": "abc",
+                "scenario": "s",
+                "params": {},
+                "status": "violation",
+                "wall_time_s": 1.0,
+                "error": "1 invariant violation(s)",
+                "violations": [
+                    {"check": "packet-conservation", "message": "lost 3",
+                     "scenario": "s", "deployment": "payloadpark"},
+                ],
+                "observability": [{"deployment": "baseline"}],
+            }
+        )
+        assert [event["type"] for event in events] == [
+            "cell_finished", "violation", "obs_summary",
+        ]
+        assert events[0]["error"].startswith("1 invariant")
+        assert events[1]["check"] == "packet-conservation"
+        assert events[2]["summaries"] == 1
+
+
+class TestCampaignMonitor:
+    def test_progress_counts_and_state(self):
+        monitor = CampaignMonitor(total=4)
+        monitor.handle({"type": "campaign_started", "total": 4, "workers": 2,
+                        "ts": 1.0})
+        monitor.handle(_finished("a"))
+        monitor.handle(_finished("b", status="error", error="boom"))
+        status = monitor.status()
+        assert status["cells_total"] == 4
+        assert status["cells_done"] == 2
+        assert status["cells_ok"] == 1
+        assert status["cells_error"] == 1
+        assert status["cells_pending"] == 2
+        assert status["progress"] == 0.5
+        assert status["state"] == "idle"
+
+    def test_eta_derives_from_completed_wall_times_and_workers(self):
+        monitor = CampaignMonitor(total=4)
+        monitor.handle({"type": "campaign_started", "total": 4, "workers": 2})
+        monitor.handle(_finished("a", wall=2.0))
+        monitor.handle(_finished("b", wall=4.0))
+        status = monitor.status()
+        # mean 3.0s × 2 remaining / 2 workers
+        assert status["eta_s"] == pytest.approx(3.0)
+        assert status["mean_cell_wall_s"] == pytest.approx(3.0)
+
+    def test_eta_is_zero_once_finished(self):
+        monitor = CampaignMonitor(total=1)
+        monitor.handle(_finished("a"))
+        monitor.handle({"type": "campaign_finished", "executed": 1})
+        status = monitor.status()
+        assert status["state"] == "finished"
+        assert status["eta_s"] == 0.0
+
+    def test_running_cells_tracked_through_started_events(self):
+        monitor = CampaignMonitor(total=2)
+        monitor.handle({"type": "cell_started", "spec_hash": "a",
+                        "scenario": "s", "params": {}, "pid": 1, "ts": 5.0})
+        status = monitor.status()
+        assert status["cells_running"] == 1
+        assert status["state"] == "running"
+        monitor.handle(_finished("a"))
+        assert monitor.status()["cells_running"] == 0
+
+    def test_heartbeat_updates_cell_timestamp(self):
+        monitor = CampaignMonitor(total=1)
+        monitor.handle({"type": "heartbeat", "spec_hash": "a", "ts": 9.0})
+        assert monitor.cells["a"]["heartbeat_ts"] == 9.0
+
+    def test_violations_deduplicate_on_replay(self):
+        monitor = CampaignMonitor(total=1)
+        violation = {"type": "violation", "spec_hash": "a", "scenario": "s",
+                     "deployment": "payloadpark", "check": "c", "message": "m"}
+        monitor.handle(violation)
+        monitor.handle(dict(violation))  # replays fold to one ledger entry
+        assert len(monitor.violations) == 1
+        assert monitor.cells["a"]["violations"] == 1
+        monitor.handle({**violation, "message": "different"})
+        assert len(monitor.violations) == 2
+
+    def test_slices_group_terminal_cells_per_axis_value(self):
+        monitor = CampaignMonitor(total=4)
+        monitor.handle(_finished("a", params={"rate": 2, "expiry": 1}, wall=1.0))
+        monitor.handle(_finished("b", params={"rate": 2, "expiry": 4}, wall=3.0,
+                                 status="error"))
+        slices = monitor.status()["slices"]
+        assert slices["rate"]["2"]["cells"] == 2
+        assert slices["rate"]["2"]["ok"] == 1
+        assert slices["rate"]["2"]["failed"] == 1
+        assert slices["rate"]["2"]["mean_wall_s"] == pytest.approx(2.0)
+        assert slices["expiry"]["1"]["cells"] == 1
+
+    def test_events_ring_is_bounded_and_tail_ordered(self):
+        monitor = CampaignMonitor(events_capacity=3)
+        for index in range(5):
+            monitor.handle({"type": "heartbeat", "spec_hash": "a", "seq": index})
+        tail = monitor.events_tail(10)
+        assert [event["seq"] for event in tail] == [2, 3, 4]
+        assert [event["seq"] for event in monitor.events_tail(2)] == [3, 4]
+        assert monitor.events_seen == 5
+
+    def test_unknown_event_type_only_hits_the_ring(self):
+        monitor = CampaignMonitor(total=1)
+        monitor.handle({"type": "mystery", "payload": 1})
+        assert monitor.cells == {}
+        assert monitor.events_tail(5)[-1]["type"] == "mystery"
+
+    def test_has_terminal(self):
+        monitor = CampaignMonitor(total=2)
+        monitor.handle({"type": "cell_started", "spec_hash": "a"})
+        assert not monitor.has_terminal("a")
+        monitor.handle(_finished("a"))
+        assert monitor.has_terminal("a")
+        assert not monitor.has_terminal("zz")
+
+
+class TestTelemetryBus:
+    def test_events_drain_into_monitor_and_sidecar(self, tmp_path):
+        events_path = tmp_path / "c.events.jsonl"
+        with TelemetryBus(events_path=events_path) as bus:
+            bus.emit({"type": "campaign_started", "total": 1, "workers": 1})
+            bus.emit_record(
+                {"spec_hash": "a", "scenario": "s", "params": {},
+                 "status": "ok", "wall_time_s": 0.5}
+            )
+        assert bus.monitor.status()["cells_done"] == 1
+        lines = [json.loads(line) for line in
+                 events_path.read_text().splitlines()]
+        assert [line["type"] for line in lines] == [
+            "campaign_started", "cell_finished",
+        ]
+        assert all("ts" in line for line in lines)
+
+    def test_stop_is_a_drain_barrier(self, tmp_path):
+        bus = TelemetryBus(events_path=tmp_path / "e.jsonl").start()
+        for index in range(200):
+            bus.emit({"type": "heartbeat", "spec_hash": "a", "seq": index})
+        bus.stop()
+        assert bus.monitor.events_seen == 200
+
+    def test_worker_emit_routes_through_installed_sink(self):
+        bus = TelemetryBus().start()
+        try:
+            with worker_sink(bus.queue.put):
+                worker_emit({"type": "heartbeat", "spec_hash": "w"})
+        finally:
+            bus.stop()
+        assert bus.monitor.events_seen == 1
+
+    def test_worker_emit_without_sink_is_a_noop(self):
+        install_worker_sink(None)
+        worker_emit({"type": "heartbeat", "spec_hash": "x"})  # must not raise
+
+    def test_worker_emit_swallows_sink_errors(self):
+        def broken(event):
+            raise RuntimeError("queue gone")
+
+        with worker_sink(broken):
+            worker_emit({"type": "heartbeat", "spec_hash": "x"})  # must not raise
+
+    def test_heartbeat_thread_emits_until_stopped(self):
+        bus = TelemetryBus().start()
+        try:
+            with worker_sink(bus.queue.put, heartbeat_interval_s=0.02):
+                thread = start_heartbeat("abc")
+                assert thread is not None
+                time.sleep(0.1)
+                thread.stop()
+        finally:
+            bus.stop()
+        beats = [event for event in bus.monitor.events_tail(0x100)
+                 if event["type"] == "heartbeat"]
+        assert beats
+        assert all(beat["spec_hash"] == "abc" for beat in beats)
+
+    def test_heartbeat_without_sink_returns_none(self):
+        install_worker_sink(None)
+        assert start_heartbeat("abc") is None
+
+
+class TestWorkerLogging:
+    def test_cell_context_sets_and_restores_hash(self):
+        assert current_cell_hash() == "-"
+        with cell_context("deadbeef"):
+            assert current_cell_hash() == "deadbeef"
+        assert current_cell_hash() == "-"
+
+    def test_records_are_tagged_with_the_running_cell(self):
+        record = logging.LogRecord("repro.x", logging.INFO, __file__, 1,
+                                   "msg", (), None)
+        with cell_context("cafef00d"):
+            assert CellTagFilter().filter(record)
+        assert record.cell == "cafef00d"
+
+    def test_configure_worker_logging_sets_level_and_formatter(self):
+        configure_worker_logging("debug")
+        root = logging.getLogger("repro")
+        try:
+            assert root.level == logging.DEBUG
+            assert len(root.handlers) == 1
+            record = logging.LogRecord("repro.worker", logging.INFO, __file__,
+                                       1, "hello", (), None)
+            with cell_context("feedface"):
+                for log_filter in root.handlers[0].filters:
+                    log_filter.filter(record)
+                formatted = root.handlers[0].format(record)
+            assert "feedface" in formatted
+            assert "hello" in formatted
+        finally:
+            configure_worker_logging("info")
+
+    def test_configure_worker_logging_rejects_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_worker_logging("loud")
