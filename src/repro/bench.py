@@ -466,6 +466,157 @@ def format_bus_overhead(result: Dict[str, object]) -> str:
 
 
 # ---------------------------------------------------------------------- #
+# Fidelity-tier speedup and figure agreement
+# ---------------------------------------------------------------------- #
+
+#: The fidelity gate fails when ``fidelity: auto`` delivers less than
+#: this wall-clock speedup over ``packet`` on the long steady bench.
+FIDELITY_MIN_SPEEDUP = 5.0
+
+#: Long steady horizon (µs) where the fluid tier amortizes its lead-in
+#: and calibration windows; ~120 ms dominated by jumpable steady time,
+#: which is the regime the tier exists for.
+FIDELITY_BENCH_DURATION_US = 120_000.0
+
+#: The fidelity bench runs in stable underload — the regime the fluid
+#: extrapolation is valid in — not at the fastpath bench's
+#: near-saturation 10.5 Gbps operating point, where the baseline's
+#: saturated NF worker correctly makes the controller refuse to jump.
+FIDELITY_BENCH_RATE_GBPS = 6.0
+
+
+def _measure_fidelity_mode(
+    build: Callable[[float], ScenarioConfig],
+    rate_gbps: float,
+    time_scale: float,
+    duration_us: float,
+    fidelity: str,
+) -> Dict[str, object]:
+    """Run baseline-vs-PayloadPark once in one fidelity tier."""
+    from dataclasses import replace
+
+    from repro.orchestrator.executor import flatten_comparison
+
+    with default_fast_path(True):
+        scenario = replace(
+            build(rate_gbps), duration_us=duration_us, fidelity=fidelity
+        )
+        runner = ExperimentRunner(time_scale=time_scale)
+        started = time.perf_counter()
+        result = runner.compare(scenario)
+        wall_s = time.perf_counter() - started
+    return {
+        "wall_s": round(wall_s, 4),
+        "metrics": flatten_comparison(result.comparison),
+    }
+
+
+def run_fidelity_bench(
+    scenario: str = DEFAULT_SCENARIO,
+    rate_gbps: float = FIDELITY_BENCH_RATE_GBPS,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    duration_us: float = FIDELITY_BENCH_DURATION_US,
+    repeat: int = 1,
+) -> Dict[str, object]:
+    """Measure the fluid tier's speedup and figure agreement vs packet.
+
+    Paired rounds, same design as :func:`run_obs_overhead`: packet and
+    auto run back to back within each round and the gated speedup is the
+    best round's ``packet_wall / auto_wall``.  Both tiers are
+    deterministic, so the figure metrics come straight from the timed
+    runs — no extra measurement pass — and the agreement check
+    (:func:`repro.validation.metamorphic.fluid_figure_breaches`) applies
+    the same tolerance declaration the metamorphic relation certifies.
+    """
+    if scenario not in BENCH_SCENARIOS:
+        raise ValueError(
+            f"unknown bench scenario {scenario!r}; expected one of {sorted(BENCH_SCENARIOS)}"
+        )
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    from repro.validation.metamorphic import fluid_figure_breaches
+
+    build = BENCH_SCENARIOS[scenario]
+    packet_runs, auto_runs, speedups = [], [], []
+    for _ in range(repeat):
+        packet = _measure_fidelity_mode(
+            build, rate_gbps, time_scale, duration_us, "packet"
+        )
+        auto = _measure_fidelity_mode(
+            build, rate_gbps, time_scale, duration_us, "auto"
+        )
+        packet_runs.append(packet)
+        auto_runs.append(auto)
+        if auto["wall_s"] > 0:
+            speedups.append(packet["wall_s"] / auto["wall_s"])
+    breaches = fluid_figure_breaches(
+        packet_runs[0]["metrics"], auto_runs[0]["metrics"]
+    )
+    goodput_key = "payloadpark_goodput_to_nf_gbps"
+    return {
+        "scenario": scenario,
+        "rate_gbps": rate_gbps,
+        "time_scale": time_scale,
+        "duration_us": duration_us,
+        "repeat": repeat,
+        "packet_wall_s": min(run["wall_s"] for run in packet_runs),
+        "auto_wall_s": min(run["wall_s"] for run in auto_runs),
+        "speedup": round(max(speedups), 2) if speedups else 0.0,
+        "packet_goodput_gbps": packet_runs[0]["metrics"].get(goodput_key, 0.0),
+        "auto_goodput_gbps": auto_runs[0]["metrics"].get(goodput_key, 0.0),
+        "figure_breaches": breaches,
+    }
+
+
+def check_fidelity(
+    result: Dict[str, object],
+    min_speedup: float = FIDELITY_MIN_SPEEDUP,
+) -> tuple:
+    """Gate the fluid tier: fast enough AND figure-faithful.
+
+    Returns ``(ok, message)``.  Fails when any figure metric left its
+    tolerance band (correctness first) or the speedup fell below
+    *min_speedup* (the tier is not earning its complexity).
+    """
+    breaches = result["figure_breaches"]
+    speedup = float(result["speedup"])
+    if breaches:
+        keys = sorted(breaches)
+        return False, (
+            f"fluid tier BREACHED figure tolerances on {len(keys)} "
+            f"metric(s): {keys}"
+        )
+    ok = speedup >= min_speedup
+    message = (
+        f"fluid-tier speedup {speedup:.2f}x over packet "
+        f"(floor {min_speedup:g}x), figures within tolerance: "
+        + ("ok" if ok else "TOO SLOW")
+    )
+    return ok, message
+
+
+def format_fidelity(result: Dict[str, object]) -> str:
+    """Human-readable summary of one fidelity measurement."""
+    lines = [
+        f"fidelity tiers: {result['scenario']} @ {result['rate_gbps']} Gbps, "
+        f"{result['duration_us'] / 1000:g} ms horizon "
+        f"(time_scale {result['time_scale']}, best of {result['repeat']})",
+        f"  packet: {result['packet_wall_s']:>8.2f}s   "
+        f"goodput {result['packet_goodput_gbps']:.4f} Gbps",
+        f"    auto: {result['auto_wall_s']:>8.2f}s   "
+        f"goodput {result['auto_goodput_gbps']:.4f} Gbps",
+        f"  speedup: {result['speedup']:.2f}x   "
+        f"figure breaches: {len(result['figure_breaches'])}",
+    ]
+    for key, detail in sorted(result["figure_breaches"].items()):
+        lines.append(
+            f"    BREACH {key}: packet {detail['packet']} vs "
+            f"fluid {detail['fluid']} (bound {detail['bound']})"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
 # Machine-readable bench artifacts
 # ---------------------------------------------------------------------- #
 

@@ -26,6 +26,8 @@ Usage::
     python -m repro observe profile          # wall-time per engine stage
     python -m repro run chaos --trace --metrics     # figures with the plane on
     python -m repro bench --quick --obs-check       # observability overhead gate
+    python -m repro run fig07 --fidelity auto       # fluid tier on steady segments
+    python -m repro bench --quick --fidelity-check  # fluid speedup + agreement gate
     python -m repro --log-level debug run fig07     # verbose stderr diagnostics
 
 The ``run``/``quickstart`` commands are thin wrappers over the modules in
@@ -165,6 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-scale", type=float, default=None,
         help="scale every scenario's simulated duration (e.g. 0.1 for a "
              "quick reduced-fidelity pass)",
+    )
+    run_parser.add_argument(
+        "--fidelity", choices=("packet", "fluid", "auto"), default=None,
+        help="simulation fidelity tier: packet (default) simulates every "
+             "packet, auto batch-advances steady traffic segments as fluid "
+             "flows where provably safe, fluid additionally fails when a "
+             "scenario admits no steady segment (see repro.fidelity)",
     )
     run_parser.add_argument(
         "--faults", default=None, metavar="PROFILE",
@@ -509,6 +518,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed bus-enabled campaign throughput loss for --bus-check "
              "(default 0.02)",
     )
+    bench_parser.add_argument(
+        "--fidelity-check", action="store_true",
+        help="also measure the fluid fidelity tier (fidelity: auto vs "
+             "packet) on a long steady horizon; fail on a figure-tolerance "
+             "breach or a speedup below --fidelity-min-speedup",
+    )
+    bench_parser.add_argument(
+        "--fidelity-min-speedup", type=float, default=None,
+        help="minimum packet/auto wall-clock speedup for --fidelity-check "
+             "(default 5.0)",
+    )
 
     bench_sub = bench_parser.add_subparsers(dest="bench_command")
     bench_trend = bench_sub.add_parser(
@@ -674,6 +694,7 @@ def _run_experiment(
     slow_path: bool = False,
     time_scale: Optional[float] = None,
     faults: Optional[str] = None,
+    fidelity: Optional[str] = None,
     observe=None,
     obs_dir: Optional[str] = None,
 ) -> int:
@@ -683,6 +704,7 @@ def _run_experiment(
     from repro.experiments.runner import (
         default_fast_path,
         default_faults,
+        default_fidelity,
         default_time_scale,
     )
 
@@ -697,6 +719,8 @@ def _run_experiment(
             stack.enter_context(default_time_scale(time_scale))
         if faults is not None:
             stack.enter_context(default_faults(faults))
+        if fidelity is not None:
+            stack.enter_context(default_fidelity(fidelity))
         if observe is not None:
             from repro.experiments.runner import default_observe
             from repro.obs.session import ObservationSink, observation_sink
@@ -765,12 +789,25 @@ def _bench(args) -> int:
     bus_result = None
     if args.bus_check:
         bus_result = bench.run_bus_overhead(repeat=max(args.repeat, 3))
+    fidelity_result = None
+    if args.fidelity_check:
+        # The fidelity bench defaults to stable underload (see
+        # FIDELITY_BENCH_RATE_GBPS) unless a rate was given explicitly.
+        fidelity_rate = (
+            args.rate if args.rate is not None else bench.FIDELITY_BENCH_RATE_GBPS
+        )
+        fidelity_result = bench.run_fidelity_bench(
+            scenario=scenario, rate_gbps=fidelity_rate, time_scale=time_scale,
+            repeat=args.repeat,
+        )
     if args.json:
         payload = dict(result)
         if obs_result is not None:
             payload["obs_overhead"] = obs_result
         if bus_result is not None:
             payload["bus_overhead"] = bus_result
+        if fidelity_result is not None:
+            payload["fidelity"] = fidelity_result
         json.dump(payload, sys.stdout, indent=2)
         print()
     else:
@@ -779,6 +816,8 @@ def _bench(args) -> int:
             print(bench.format_obs_overhead(obs_result))
         if bus_result is not None:
             print(bench.format_bus_overhead(bus_result))
+        if fidelity_result is not None:
+            print(bench.format_fidelity(fidelity_result))
     if not args.no_artifact:
         history = bench.append_history(result, kind="fastpath")
         logger.info("appended fastpath measurement to %s", history)
@@ -788,6 +827,9 @@ def _bench(args) -> int:
         if bus_result is not None:
             bus_history = bench.append_history(bus_result, kind="campaign_bus")
             logger.info("appended campaign-bus measurement to %s", bus_history)
+        if fidelity_result is not None:
+            fid_history = bench.append_history(fidelity_result, kind="fidelity")
+            logger.info("appended fidelity measurement to %s", fid_history)
     exit_code = 0
     if obs_result is not None:
         obs_tolerance = (
@@ -804,6 +846,15 @@ def _bench(args) -> int:
             else bench.BUS_OVERHEAD_TOLERANCE
         )
         ok, message = bench.check_bus_overhead(bus_result, tolerance=bus_tolerance)
+        (logger.info if ok else logger.error)("%s", message)
+        if not ok:
+            exit_code = 3
+    if fidelity_result is not None:
+        min_speedup = (
+            args.fidelity_min_speedup if args.fidelity_min_speedup is not None
+            else bench.FIDELITY_MIN_SPEEDUP
+        )
+        ok, message = bench.check_fidelity(fidelity_result, min_speedup=min_speedup)
         (logger.info if ok else logger.error)("%s", message)
         if not ok:
             exit_code = 3
@@ -1477,6 +1528,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 slow_path=args.slow_path,
                 time_scale=args.time_scale,
                 faults=args.faults,
+                fidelity=args.fidelity,
                 observe=observe,
                 obs_dir=args.obs_dir,
             )

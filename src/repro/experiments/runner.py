@@ -211,6 +211,44 @@ def run_observer(observer: RunObserver):
         _RUN_OBSERVER = previous
 
 
+#: Recognized values for the ``fidelity`` knob on :class:`ScenarioConfig`.
+FIDELITY_MODES = ("packet", "fluid", "auto")
+
+#: Scenarios simulate every packet unless overridden.
+_FIDELITY_DEFAULT = "packet"
+
+#: Active override installed by :func:`default_fidelity`.
+_FIDELITY_OVERRIDE: Optional[str] = None
+
+
+def current_default_fidelity() -> str:
+    """The fidelity tier newly-built scenarios pick up by default."""
+    return _FIDELITY_OVERRIDE if _FIDELITY_OVERRIDE is not None else _FIDELITY_DEFAULT
+
+
+@contextmanager
+def default_fidelity(mode: str):
+    """Temporarily override the fidelity tier for built scenarios.
+
+    The CLI's ``repro run --fidelity`` flag and the fluid-vs-packet
+    bench wrap experiment execution in this context so every scenario
+    the experiment builds inherits the requested tier (``packet``,
+    ``fluid`` or ``auto``) without threading a parameter through each
+    module.
+    """
+    if mode not in FIDELITY_MODES:
+        raise ValueError(
+            f"fidelity must be one of {FIDELITY_MODES}, got {mode!r}"
+        )
+    global _FIDELITY_OVERRIDE
+    previous = _FIDELITY_OVERRIDE
+    _FIDELITY_OVERRIDE = mode
+    try:
+        yield
+    finally:
+        _FIDELITY_OVERRIDE = previous
+
+
 #: Active time-scale override installed by :func:`default_time_scale`.
 _TIME_SCALE_OVERRIDE: Optional[float] = None
 
@@ -327,6 +365,21 @@ class ScenarioConfig:
     #: Everything defaults off — the uninstrumented hot path is gated at
     #: <2% overhead by ``repro bench --obs-check``.
     observe: Optional[object] = field(default_factory=current_default_observe)
+    #: Simulation fidelity tier (see :mod:`repro.fidelity`): ``packet``
+    #: simulates every packet; ``auto`` advances eligible steady traffic
+    #: segments with the calibrated fluid tier and falls back to the
+    #: packet engine around boundaries (fault windows, rate
+    #: discontinuities, SRAM pressure); ``fluid`` is ``auto`` that
+    #: *requires* at least one steady segment and raises otherwise.
+    #: Figure-level agreement between ``auto`` and ``packet`` is pinned
+    #: by the fluid-vs-packet metamorphic relation.
+    fidelity: str = field(default_factory=current_default_fidelity)
+
+    def __post_init__(self) -> None:
+        if self.fidelity not in FIDELITY_MODES:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITY_MODES}, got {self.fidelity!r}"
+            )
 
     def with_rate(self, rate_gbps: float) -> "ScenarioConfig":
         """A copy of this scenario at a different offered rate.
@@ -615,19 +668,22 @@ class ExperimentRunner:
 
         observer = current_run_observer()
         plane = self._attach_observability(scenario, topology, program)
+        controller = self._build_tier_controller(
+            scenario, topology, program, duration_ns, plane
+        )
         if observer is not None:
             observer.on_run_start(scenario, deployment, topology, program)
         topology.start_traffic(duration_ns)
         if plane is not None:
             plane.start(duration_ns)
-        self._advance(topology, plane, warmup_ns)
+        self._advance(topology, plane, warmup_ns, controller)
         warm_snapshot = topology.snapshot()
         warm_counters = self._pp_counter_snapshot(program)
         warm_latency_counts = {
             attachment.binding.name: attachment.pktgen.latency.count
             for attachment in topology.attachments
         }
-        self._advance(topology, plane, duration_ns)
+        self._advance(topology, plane, duration_ns, controller)
         end_snapshot = topology.snapshot()
         end_counters = self._pp_counter_snapshot(program)
 
@@ -659,18 +715,48 @@ class ExperimentRunner:
                 sink.add(observation)
         return reports
 
+    def _build_tier_controller(
+        self, scenario: ScenarioConfig, topology, program, duration_ns: int, plane
+    ):
+        """Materialize the scenario's fidelity tier, if not pure packet.
+
+        Imported lazily like the fault and observability planes — the
+        fidelity package layers on top of the runner.  Returns None for
+        ``fidelity: packet``, keeping the default path byte-identical to
+        what it was before the tiered engine existed.
+        """
+        if scenario.fidelity == "packet":
+            return None
+        from repro.fidelity import TierController
+
+        controller = TierController(
+            scenario,
+            topology,
+            program,
+            duration_ns,
+            time_scale=self.time_scale,
+            observed=plane is not None,
+        )
+        # Exposed for diagnostics and the fidelity bench (not part of the
+        # report pipeline).
+        topology.tier_controller = controller
+        return controller
+
     @staticmethod
-    def _advance(topology, plane, horizon_ns: int) -> None:
+    def _advance(topology, plane, horizon_ns: int, controller=None) -> None:
         """Run the event loop to *horizon_ns*, under the profiler if armed.
 
         ``measure_total`` brackets the whole dispatch loop so the profiler
-        can attribute the un-instrumented residue to event dispatch.
+        can attribute the un-instrumented residue to event dispatch.  A
+        tier controller, when present, takes the place of the raw
+        ``run_until`` and interleaves fluid jumps with packet stretches.
         """
+        step = controller.advance if controller is not None else topology.run_until
         if plane is not None and plane.profiler is not None:
             with plane.profiler.measure_total():
-                topology.run_until(horizon_ns)
+                step(horizon_ns)
         else:
-            topology.run_until(horizon_ns)
+            step(horizon_ns)
 
     @staticmethod
     def _pp_counter_snapshot(program: SwitchProgram):
@@ -753,6 +839,14 @@ class ExperimentRunner:
                 pp_delta.get("split_disabled_small_payload", 0)
                 + pp_delta.get("split_disabled_table_occupied", 0)
             ),
+            peak_queue_bytes=max(
+                (
+                    stats.peak_queue_bytes
+                    for link in (*attachment.gen_links, attachment.server_link)
+                    for stats in link.direction_counters()
+                ),
+                default=0,
+            ),
             drop_breakdown={
                 "server_overflow": int(server_delta.get("overflow_drops", 0)),
                 "chain_dropped": chain_dropped,
@@ -802,6 +896,7 @@ def _aggregate_reports(
         total.merges += report.merges
         total.explicit_drops += report.explicit_drops
         total.split_disabled += report.split_disabled
+        total.peak_queue_bytes = max(total.peak_queue_bytes, report.peak_queue_bytes)
     total.avg_latency_us = sum(r.avg_latency_us for r in reports) / len(reports)
     total.p99_latency_us = max(r.p99_latency_us for r in reports)
     total.max_latency_us = max(r.max_latency_us for r in reports)

@@ -1,0 +1,299 @@
+"""The tier controller: switch between packet and fluid per segment.
+
+:class:`TierController` replaces ``topology.run_until`` in the
+experiment runner when ``ScenarioConfig.fidelity`` is ``auto`` or
+``fluid``.  Its :meth:`~TierController.advance` walks the horizon
+segment by segment:
+
+* outside a steady segment (fault windows and their margins, ramps,
+  arrival-model workloads) it simply runs the packet engine;
+* inside a long-enough steady segment it runs a packet-level *lead-in*
+  (settle), a packet-level *calibration window* (measure counter deltas
+  and pressure gauges), and — if the gauges did not drift — performs one
+  batch update equivalent to ``k`` more calibration windows: counters
+  advance by ``k x`` the measured deltas, hardware cursors and pending
+  machinery events shift with the clock
+  (:meth:`~repro.netsim.eventloop.EventLoop.translate_events`), and the
+  remainder (less than one window) is simulated packet-level up to the
+  boundary, so every boundary is crossed with genuine in-flight state.
+
+The controller is deliberately conservative: any rejected calibration
+(drifting queues, filling SRAM, saturated servers mid-transient) falls
+back to the packet engine for that segment, trading speed for the
+certified figure-level agreement the fluid-vs-packet metamorphic
+relation pins.
+
+All window parameters scale with the runner's ``time_scale`` so the
+tier engages at the same *relative* depth on shrunk test horizons as on
+full-length campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import FidelityError
+from repro.fidelity.segments import SteadySegment, plan_steady_segments
+from repro.fidelity.state import FluidStateMap
+
+__all__ = ["FluidParams", "TierController", "TierJump", "fluid_eligible"]
+
+
+@dataclass(frozen=True)
+class FluidParams:
+    """Tuning knobs of the fluid tier (nanoseconds, pre-``time_scale``)."""
+
+    #: Packet-level settle time after entering a steady segment.
+    lead_ns: int = 250_000
+    #: Packet-level measurement window; also the extrapolation quantum.
+    #: Sized for sampling noise, not overhead: burst pacing re-samples
+    #: packet sizes per burst, so a window covering N bursts carries
+    #: ~(burst-size CV)/sqrt(N) relative noise that the jump multiplies
+    #: into the extrapolated counters.  4 ms ≈ 150+ bursts at single-digit
+    #: Gbps rates keeps it under ~1%, and a segment pays for exactly one
+    #: calibration regardless of how far it jumps.
+    calibration_ns: int = 4_000_000
+    #: Settle margin simulated packet-level around every fault event.
+    fault_margin_ns: int = 150_000
+    #: Smallest multiple of the calibration window worth jumping over.
+    min_jump_multiple: int = 2
+    #: Stability tolerances: a calibration is rejected when any link
+    #: queue, server residency or SRAM occupancy drifted further than
+    #: this across the window.  The queue bound absorbs burst-phase
+    #: noise (a 32-packet burst parks ~25 KB in the queue momentarily,
+    #: so two instantaneous samples differ by up to that even in perfect
+    #: steady state); *slow* saturation buildup hides under any such
+    #: bound, which is what the busy-fraction probe below exists for.
+    queue_tolerance_bytes: int = 65_536
+    server_tolerance_packets: int = 8
+    occupancy_tolerance_slots: int = 16
+    #: A calibration is rejected when any link direction or NF worker
+    #: was busy for more than this fraction of the window.  Persistent
+    #: queue growth — the saturation transient whose extrapolation would
+    #: invent drop-free megabytes of phantom backlog — is only possible
+    #: at ~100% utilization, so this catches buildup too slow for the
+    #: queue-drift bound while leaving stable underload (the tier's
+    #: domain of validity) untouched.
+    busy_fraction_max: float = 0.98
+
+    def scaled(self, time_scale: float) -> "FluidParams":
+        """Windows scaled to the runner's time scale (tolerances kept)."""
+        if time_scale == 1.0:
+            return self
+        return FluidParams(
+            lead_ns=max(int(self.lead_ns * time_scale), 1),
+            calibration_ns=max(int(self.calibration_ns * time_scale), 1),
+            fault_margin_ns=max(int(self.fault_margin_ns * time_scale), 1),
+            min_jump_multiple=self.min_jump_multiple,
+            queue_tolerance_bytes=self.queue_tolerance_bytes,
+            server_tolerance_packets=self.server_tolerance_packets,
+            occupancy_tolerance_slots=self.occupancy_tolerance_slots,
+            busy_fraction_max=self.busy_fraction_max,
+        )
+
+    def min_profitable_ns(self) -> int:
+        """Shortest segment a lead-in + calibration + jump can pay off in."""
+        return self.lead_ns + self.calibration_ns * (1 + self.min_jump_multiple)
+
+
+@dataclass
+class TierJump:
+    """Telemetry record of one executed fluid jump."""
+
+    at_ns: int
+    delta_ns: int
+    multiple: int
+    events_shifted: int
+
+
+class TierController:
+    """Advances a topology through time, fluid where provably safe.
+
+    Parameters
+    ----------
+    scenario:
+        The :class:`~repro.experiments.runner.ScenarioConfig` being run;
+        supplies the fidelity mode, traffic model and fault spec.
+    topology:
+        The wired testbed (its event loop is the clock being driven).
+    program:
+        The switch program (PayloadPark counter bank and SRAM tables).
+    duration_ns:
+        Total simulated horizon (already time-scaled by the runner).
+    time_scale:
+        The runner's time scale; shrinks the fluid windows with it.
+    observed:
+        True when an observability plane is attached.  The plane's
+        samplers schedule their own periodic events, which a clock jump
+        would shift off-cadence — fluid is disabled, and ``fluid`` mode
+        raises, matching the "observability must not change results"
+        contract.
+    """
+
+    def __init__(
+        self,
+        scenario,
+        topology,
+        program,
+        duration_ns: int,
+        *,
+        time_scale: float = 1.0,
+        params: Optional[FluidParams] = None,
+        observed: bool = False,
+    ) -> None:
+        mode = getattr(scenario, "fidelity", "packet")
+        if mode not in ("auto", "fluid"):
+            raise ValueError(f"TierController expects fidelity auto|fluid, got {mode!r}")
+        self.topology = topology
+        self.env = topology.env
+        self.params = (params or FluidParams()).scaled(time_scale)
+        self.jumps: List[TierJump] = []
+        self.rejected_calibrations = 0
+        if observed:
+            self.segments: List[SteadySegment] = []
+        else:
+            self.segments = plan_steady_segments(
+                scenario,
+                duration_ns,
+                margin_ns=self.params.fault_margin_ns,
+                min_segment_ns=self.params.min_profitable_ns(),
+            )
+        if mode == "fluid" and not self.segments:
+            raise FidelityError(
+                f"fidelity: fluid requires a steady traffic segment, but "
+                f"scenario {getattr(scenario, 'name', '?')!r} admits none "
+                f"(arrival-model/replay workload, all-ramp schedule, "
+                f"observability attached, or horizon too short); use "
+                f"fidelity: auto to fall back to the packet engine"
+            )
+        self.state = FluidStateMap(topology, program)
+
+    # ------------------------------------------------------------------ #
+    # Advancing
+    # ------------------------------------------------------------------ #
+
+    def advance(self, horizon_ns: int) -> None:
+        """Drive the simulation to *horizon_ns* (drop-in ``run_until``)."""
+        env = self.env
+        while env.now < horizon_ns:
+            segment = self._segment_at(env.now)
+            if segment is None:
+                next_start = self._next_segment_start(env.now)
+                target = min(horizon_ns, next_start) if next_start is not None else horizon_ns
+                if target <= env.now:  # defensive: planning gave no progress
+                    target = horizon_ns
+                self.topology.run_until(target)
+                continue
+            end_ns = min(segment.end_ns, horizon_ns)
+            if not self._try_fluid(end_ns):
+                self.topology.run_until(end_ns)
+        # Land exactly on the horizon (run_until clamps ``now`` forward).
+        self.topology.run_until(horizon_ns)
+
+    def _try_fluid(self, end_ns: int) -> bool:
+        """Lead, calibrate and jump toward *end_ns*; False = run packet."""
+        env = self.env
+        p = self.params
+        calib_end = env.now + p.lead_ns + p.calibration_ns
+        if (end_ns - calib_end) // p.calibration_ns < p.min_jump_multiple:
+            return False
+        self.topology.run_until(env.now + p.lead_ns)
+        before = self.state.snapshot()
+        pressure_before = self.state.pressure()
+        busy_before = self.state.busy_snapshot()
+        self.topology.run_until(env.now + p.calibration_ns)
+        after = self.state.snapshot()
+        pressure_after = self.state.pressure()
+        busy_after = self.state.busy_snapshot()
+        multiple = (end_ns - env.now) // p.calibration_ns
+        stable = self.state.pressure_stable(
+            pressure_before,
+            pressure_after,
+            queue_tolerance_bytes=p.queue_tolerance_bytes,
+            server_tolerance_packets=p.server_tolerance_packets,
+            occupancy_tolerance_slots=p.occupancy_tolerance_slots,
+        ) and not self.state.saturated(
+            busy_before, busy_after, p.calibration_ns, p.busy_fraction_max
+        )
+        if multiple < p.min_jump_multiple or not stable:
+            # Segment got consumed by lead+calibration, or the system is
+            # still drifting (saturation onset, SRAM filling): stay
+            # packet-level for the rest of this segment.
+            self.rejected_calibrations += int(not stable)
+            return False
+        delta_ns = multiple * p.calibration_ns
+        self.state.inject(before, after, multiple)
+        self.state.shift_cursors(delta_ns)
+        shifted = env.translate_events(end_ns, delta_ns)
+        self.jumps.append(
+            TierJump(
+                at_ns=env.now - delta_ns,
+                delta_ns=delta_ns,
+                multiple=multiple,
+                events_shifted=shifted,
+            )
+        )
+        # The sub-window remainder to the boundary runs packet-level so
+        # the boundary is crossed with genuine in-flight state.
+        self.topology.run_until(end_ns)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Segment lookup
+    # ------------------------------------------------------------------ #
+
+    def _segment_at(self, t_ns: int) -> Optional[SteadySegment]:
+        for segment in self.segments:
+            if segment.contains(t_ns):
+                return segment
+        return None
+
+    def _next_segment_start(self, t_ns: int) -> Optional[int]:
+        starts = [s.start_ns for s in self.segments if s.start_ns > t_ns]
+        return min(starts) if starts else None
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def fluid_time_ns(self) -> int:
+        """Simulated time advanced by jumps instead of packet dispatch."""
+        return sum(jump.delta_ns for jump in self.jumps)
+
+    def summary(self) -> dict:
+        return {
+            "segments_planned": len(self.segments),
+            "jumps": len(self.jumps),
+            "fluid_time_ns": self.fluid_time_ns,
+            "events_shifted": sum(j.events_shifted for j in self.jumps),
+            "rejected_calibrations": self.rejected_calibrations,
+        }
+
+
+def fluid_eligible(
+    scenario,
+    time_scale: float = 1.0,
+    params: Optional[FluidParams] = None,
+) -> bool:
+    """Whether ``fidelity: auto`` could ever leave the packet tier.
+
+    Mirrors the controller's own planning (same scaled windows, same
+    profitability floor) without building a topology, so callers — the
+    fluid-vs-packet metamorphic relation, the bench gate — can decide
+    between exact-equality and tolerance-band comparison up front.
+    An attached observability spec disables fluid outright (the plane's
+    samplers must not be shifted), matching the runner.
+    """
+    if getattr(scenario, "observe", None):
+        return False
+    p = (params or FluidParams()).scaled(time_scale)
+    duration_ns = int(getattr(scenario, "duration_us", 0.0) * 1_000 * time_scale)
+    segments = plan_steady_segments(
+        scenario,
+        duration_ns,
+        margin_ns=p.fault_margin_ns,
+        min_segment_ns=p.min_profitable_ns(),
+    )
+    return bool(segments)

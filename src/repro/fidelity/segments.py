@@ -1,0 +1,170 @@
+"""Steady-segment planning: where the fluid tier is allowed to engage.
+
+A :class:`SteadySegment` is a half-open interval ``[start_ns, end_ns)``
+of simulated time over which the offered load is a known constant and
+no scheduled discontinuity falls — the precondition for the
+calibrate-and-extrapolate jump in
+:class:`~repro.fidelity.controller.TierController`.  Planning is pure
+data-in/data-out (schedule phases, materialized fault events), so it is
+unit-testable without a topology and runs once per deployment.
+
+Ineligible scenarios yield an empty plan and the controller degrades to
+pure packet simulation:
+
+* arrival-model workloads (Poisson/MMPP/incast) — inter-burst gaps are
+  random, there is no deterministic steady state to extrapolate;
+* replay workloads (``stream_factory``) — the trace *is* the signal;
+* ramp phases — the rate changes continuously;
+* fault windows — the segment is cut around
+  ``[at_ns - margin, at_ns + duration + margin]`` so onset and recovery
+  transients are always simulated packet-level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["SteadySegment", "plan_steady_segments"]
+
+
+@dataclass(frozen=True)
+class SteadySegment:
+    """One constant-rate, discontinuity-free stretch of simulated time."""
+
+    start_ns: int
+    end_ns: int
+    rate_gbps: float
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def contains(self, t_ns: int) -> bool:
+        return self.start_ns <= t_ns < self.end_ns
+
+
+def plan_steady_segments(
+    scenario,
+    duration_ns: int,
+    *,
+    margin_ns: int = 0,
+    min_segment_ns: int = 1,
+) -> List[SteadySegment]:
+    """Plan the steady segments of *scenario* over ``[0, duration_ns)``.
+
+    Times are relative to traffic start (the runner starts traffic at
+    ``now == 0``, so they are also absolute simulation times).
+    *margin_ns* widens every fault window on both sides so boundary
+    transients stay packet-level; segments shorter than
+    *min_segment_ns* are dropped (they could never amortize a
+    calibration anyway).
+    """
+    if duration_ns <= 0:
+        return []
+    traffic_model = getattr(scenario, "traffic_model", None)
+    if traffic_model is not None:
+        if traffic_model.arrivals is not None:
+            return []  # stochastic gaps: no deterministic steady state
+        if traffic_model.stream_factory is not None:
+            return []  # replay: the trace is the workload
+    schedule = traffic_model.schedule if traffic_model is not None else None
+    if schedule is None:
+        intervals = [(0, duration_ns, float(scenario.send_rate_gbps))]
+    else:
+        intervals = _constant_intervals(schedule, duration_ns)
+    blackouts = _fault_blackouts(scenario, duration_ns, margin_ns)
+    segments: List[SteadySegment] = []
+    for start_ns, end_ns, rate_gbps in intervals:
+        for piece_start, piece_end in _subtract(start_ns, end_ns, blackouts):
+            if piece_end - piece_start >= min_segment_ns:
+                segments.append(SteadySegment(piece_start, piece_end, rate_gbps))
+    return segments
+
+
+def _constant_intervals(schedule, duration_ns: int) -> List[Tuple[int, int, float]]:
+    """Constant-rate phase intervals of *schedule* clipped to the horizon.
+
+    Ramp phases are skipped.  Repeating schedules are unrolled cycle by
+    cycle; a non-repeating schedule holds its final rate forever, so the
+    tail past the last phase is one more constant interval.  Adjacent
+    intervals at the same rate merge (a phase boundary with no rate
+    discontinuity is not a boundary for the fluid tier).
+    """
+    intervals: List[Tuple[int, int, float]] = []
+
+    def add(start_ns: int, end_ns: int, rate_gbps: float) -> None:
+        start_ns = max(start_ns, 0)
+        end_ns = min(end_ns, duration_ns)
+        if end_ns <= start_ns:
+            return
+        if intervals and intervals[-1][1] == start_ns and intervals[-1][2] == rate_gbps:
+            intervals[-1] = (intervals[-1][0], end_ns, rate_gbps)
+        else:
+            intervals.append((start_ns, end_ns, rate_gbps))
+
+    cycle_start = 0
+    while cycle_start < duration_ns:
+        elapsed = cycle_start
+        for phase in schedule.phases:
+            if phase.start_gbps == phase.end_gbps:
+                add(elapsed, elapsed + phase.duration_ns, float(phase.start_gbps))
+            elapsed += phase.duration_ns
+            if elapsed >= duration_ns:
+                break
+        if not schedule.repeat:
+            # The final phase's end rate holds forever past the profile.
+            add(schedule.total_duration_ns, duration_ns,
+                float(schedule.phases[-1].end_gbps))
+            break
+        cycle_start += schedule.total_duration_ns
+    return intervals
+
+
+def _fault_blackouts(
+    scenario, duration_ns: int, margin_ns: int
+) -> List[Tuple[int, int]]:
+    """Merged, sorted intervals around every materialized fault event."""
+    faults = getattr(scenario, "faults", None)
+    if faults is None:
+        return []
+    from repro.faults.schedule import EventSchedule
+
+    schedule = EventSchedule.from_spec(faults)
+    raw: List[Tuple[int, int]] = []
+    for event in schedule.materialize(scenario.seed, duration_ns):
+        window_ns = int(event.params.get("duration_ns", 0) or 0)
+        raw.append((event.at_ns - margin_ns, event.at_ns + window_ns + margin_ns))
+    return _merge(raw)
+
+
+def _merge(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start_ns, end_ns in intervals[1:]:
+        if start_ns <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end_ns))
+        else:
+            merged.append((start_ns, end_ns))
+    return merged
+
+
+def _subtract(
+    start_ns: int, end_ns: int, blackouts: List[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """``[start, end)`` minus the (merged, sorted) blackout intervals."""
+    pieces: List[Tuple[int, int]] = []
+    cursor = start_ns
+    for black_start, black_end in blackouts:
+        if black_end <= cursor:
+            continue
+        if black_start >= end_ns:
+            break
+        if black_start > cursor:
+            pieces.append((cursor, black_start))
+        cursor = max(cursor, black_end)
+    if cursor < end_ns:
+        pieces.append((cursor, end_ns))
+    return pieces

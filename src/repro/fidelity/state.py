@@ -1,0 +1,237 @@
+"""Materialize/absorb simulation state across a fluid clock jump.
+
+:class:`FluidStateMap` enumerates, once per run, every piece of mutable
+testbed state the jump must touch, split by how time treats it:
+
+* **Monotone counters** (generator/server/NIC/PCIe/switch/link counters
+  and the PayloadPark counter bank) advance by ``k x`` their calibration
+  delta.  The injection is exact integer arithmetic on the very deltas
+  the calibration measured, so every conservation identity that held
+  over the calibration window holds over the extrapolated window by
+  construction.
+* **Absolute-time cursors** (link serialization horizons, NIC ring
+  readiness, the NF worker's free-at time) shift with the clock so the
+  packet engine resumes with the same *relative* backlog it had at
+  calibration end.
+* **Live gauges** (queued bytes, packets in the server, parked payloads
+  in SRAM, latency samples, peak trackers) are deliberately left alone:
+  they describe in-flight state, which the jump preserves as-is — the
+  pending events carrying that state ride along via
+  ``translate_events``.  The same gauges double as the *stability
+  probe*: if any of them drifted across the calibration window the
+  system was not in steady state and the jump is refused.
+
+Generator schedule anchors (``_start_ns``, ``_stop_at_ns``) are *not*
+shifted: the jump advances simulated time through the schedule, so the
+phase position must advance with it.  PayloadPark lookup-table slots
+carry generation clocks and probe-count expiry, not nanosecond
+timestamps — translation leaves them valid untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["FluidStateMap"]
+
+#: (object kind docs live on the classes; names checked at build time)
+_GENERATOR_COUNTERS = (
+    "packets_sent",
+    "bytes_sent",
+    "packets_received",
+    "useful_bytes_received",
+    "bytes_received",
+)
+_SERVER_COUNTERS = (
+    "accepted_packets",
+    "processed_packets",
+    "forwarded_packets",
+    "chain_dropped_packets",
+    "explicit_drop_notifications",
+    "overflow_drops",
+    "busy_ns",
+)
+_NIC_COUNTERS = ("rx_packets", "tx_packets", "rx_bytes", "tx_bytes", "rx_dropped")
+_PCIE_COUNTERS = ("rx_bytes", "tx_bytes", "rx_transfers", "tx_transfers")
+_SWITCH_COUNTERS = (
+    "packets_in",
+    "packets_out",
+    "packets_dropped",
+    "packets_to_nf",
+    "useful_bytes_to_nf",
+)
+_LINK_COUNTERS = (
+    "frames_sent",
+    "frames_delivered",
+    "frames_dropped",
+    "bytes_sent",
+    "bytes_dropped",
+    "busy_ns",
+    "frames_dropped_down",
+    "frames_dropped_loss",
+    "bytes_dropped_fault",
+)
+_DIRECTION_CURSORS = ("next_free_ns", "last_arrival_ns")
+_NIC_CURSORS = ("rx_free_at_ns", "tx_free_at_ns")
+
+
+class FluidStateMap:
+    """Every counter, cursor and gauge the fluid jump must account for."""
+
+    def __init__(self, topology, program) -> None:
+        self._counter_cells: List[Tuple[Any, str]] = []
+        self._dict_cells: List[Tuple[Any, str]] = []
+        self._cursor_cells: List[Tuple[Any, str]] = []
+        self._gauge_cells: List[Tuple[Any, str]] = []
+        self._busy_cells: List[Tuple[Any, str]] = []
+        self._lookup_tables: List[Any] = []
+
+        switch = topology.switch
+        self._add_counters(switch, _SWITCH_COUNTERS)
+        self._dict_cells.append((switch, "drop_reasons"))
+        for attachment in topology.attachments:
+            pktgen = attachment.pktgen
+            server = attachment.server
+            self._add_counters(pktgen, _GENERATOR_COUNTERS)
+            self._add_counters(server, _SERVER_COUNTERS)
+            self._add_counters(server.nic, _NIC_COUNTERS)
+            self._add_counters(server.pcie, _PCIE_COUNTERS)
+            self._add_cursors(server, ("_worker_free_at_ns",))
+            self._add_cursors(server.nic, _NIC_CURSORS)
+            self._gauge_cells.append((server, "_in_server"))
+            self._busy_cells.append((server, "busy_ns"))
+            for link in (*attachment.gen_links, attachment.server_link):
+                # The direction objects are the link's private transmit
+                # state; the fluid tier is the one consumer that must
+                # reach through the public stats facade to shift the
+                # serialization cursors with the clock.
+                for direction in (link._a_to_b, link._b_to_a):
+                    self._add_counters(direction.stats, _LINK_COUNTERS)
+                    self._add_cursors(direction, _DIRECTION_CURSORS)
+                    self._gauge_cells.append((direction, "queued_bytes"))
+                    self._busy_cells.append((direction.stats, "busy_ns"))
+        bank = getattr(program, "counters", None)
+        if bank is not None:
+            for counters in bank.counters.values():
+                self._add_counters(counters, tuple(counters.as_dict()))
+        for table in getattr(program, "lookup_tables", {}).values():
+            self._lookup_tables.append(table)
+
+    def _add_counters(self, obj: Any, names: Tuple[str, ...]) -> None:
+        for name in names:
+            getattr(obj, name)  # fail at build time on a renamed field
+            self._counter_cells.append((obj, name))
+
+    def _add_cursors(self, obj: Any, names: Tuple[str, ...]) -> None:
+        for name in names:
+            getattr(obj, name)
+            self._cursor_cells.append((obj, name))
+
+    # ------------------------------------------------------------------ #
+    # Counters
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Tuple[List[float], List[Dict[str, int]]]:
+        """Copy every monotone counter (scalar cells, then dict cells)."""
+        scalars = [getattr(obj, name) for obj, name in self._counter_cells]
+        dicts = [dict(getattr(obj, name)) for obj, name in self._dict_cells]
+        return scalars, dicts
+
+    def inject(self, before, after, k: int) -> None:
+        """Advance every counter by ``k x`` its calibration delta.
+
+        *before*/*after* are :meth:`snapshot` results bracketing the
+        calibration window.  Exact integer (or float, for ``busy_ns``)
+        arithmetic on measured deltas: identities linear in the counters
+        are preserved exactly.
+        """
+        before_scalars, before_dicts = before
+        after_scalars, after_dicts = after
+        for (obj, name), old, new in zip(
+            self._counter_cells, before_scalars, after_scalars
+        ):
+            delta = new - old
+            if delta:
+                setattr(obj, name, getattr(obj, name) + k * delta)
+        for (obj, name), old, new in zip(self._dict_cells, before_dicts, after_dicts):
+            live = getattr(obj, name)
+            for key, value in new.items():
+                delta = value - old.get(key, 0)
+                if delta:
+                    live[key] = live.get(key, 0) + k * delta
+
+    # ------------------------------------------------------------------ #
+    # Time cursors
+    # ------------------------------------------------------------------ #
+
+    def shift_cursors(self, delta_ns: int) -> None:
+        """Shift every absolute-time hardware cursor by *delta_ns*."""
+        for obj, name in self._cursor_cells:
+            setattr(obj, name, getattr(obj, name) + delta_ns)
+
+    # ------------------------------------------------------------------ #
+    # Stability probe
+    # ------------------------------------------------------------------ #
+
+    def pressure(self) -> List[int]:
+        """The live-gauge vector used to detect drift across a calibration.
+
+        Queued bytes per link direction, packets resident in each
+        server, and parked payloads per SRAM lookup table — anything
+        trending here means the system is absorbing or shedding load
+        (saturation onset, SRAM filling toward its threshold) and the
+        segment is not safe to extrapolate.
+        """
+        values = [getattr(obj, name) for obj, name in self._gauge_cells]
+        values.extend(table.occupancy() for table in self._lookup_tables)
+        return values
+
+    def busy_snapshot(self) -> List[float]:
+        """Accumulated busy time per link direction and NF worker."""
+        return [getattr(obj, name) for obj, name in self._busy_cells]
+
+    def saturated(
+        self,
+        busy_before: List[float],
+        busy_after: List[float],
+        window_ns: int,
+        busy_fraction_max: float,
+    ) -> bool:
+        """True when any resource ran at ~full utilization over the window.
+
+        Saturation is the one unstable regime the instantaneous gauge
+        drift can miss: a queue fed 0.5 Gbps over capacity grows only a
+        few KB per calibration window — under the burst-phase noise
+        floor — but the link feeding it is busy 100% of the time.
+        """
+        for before, after in zip(busy_before, busy_after):
+            if (after - before) > window_ns * busy_fraction_max:
+                return True
+        return False
+
+    def pressure_stable(
+        self,
+        before: List[int],
+        after: List[int],
+        *,
+        queue_tolerance_bytes: int,
+        server_tolerance_packets: int,
+        occupancy_tolerance_slots: int,
+    ) -> bool:
+        """True when no gauge drifted beyond its tolerance."""
+        index = 0
+        for obj, name in self._gauge_cells:
+            drift = abs(after[index] - before[index])
+            limit = (
+                server_tolerance_packets
+                if name == "_in_server"
+                else queue_tolerance_bytes
+            )
+            if drift > limit:
+                return False
+            index += 1
+        for _table in self._lookup_tables:
+            if abs(after[index] - before[index]) > occupancy_tolerance_slots:
+                return False
+            index += 1
+        return True

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
+from repro.errors import FidelityError
 from repro.experiments.runner import DeploymentKind, ExperimentRunner
 from repro.orchestrator.spec import CampaignSpec, RunSpec, build_scenario, dedupe_specs
 from repro.orchestrator.store import ResultStore
@@ -241,11 +242,25 @@ class CampaignSummary:
         """
         if not self.failed:
             return
+        failures = [
+            record for record in self.records if record.get("status") != "ok"
+        ]
         errors = [
             f"{record['scenario']}({record['params']}): {record.get('error')}"
-            for record in self.records
-            if record.get("status") != "ok"
+            for record in failures
         ]
+        # A fidelity misconfiguration (fidelity: fluid on a scenario with
+        # no steady segment) fails every grid point identically; surface
+        # it as the configuration error it is — a clean `error:` line and
+        # exit 2 at the CLI — not a broken-grid RuntimeError traceback.
+        fidelity_prefix = f"{FidelityError.__name__}: "
+        if all(
+            str(record.get("error", "")).startswith(fidelity_prefix)
+            for record in failures
+        ):
+            raise FidelityError(
+                str(failures[0]["error"])[len(fidelity_prefix):]
+            )
         raise RuntimeError(
             f"{self.failed} of {self.executed} campaign runs failed:\n"
             + "\n".join(errors)

@@ -41,7 +41,11 @@ from repro.obs.schema import (
     validate_campaign_violations,
 )
 from repro.orchestrator.store import ResultStore, events_path_for
-from repro.orchestrator.telemetrybus import CampaignMonitor, events_from_record
+from repro.orchestrator.telemetrybus import (
+    TERMINAL_STATUSES,
+    CampaignMonitor,
+    events_from_record,
+)
 
 logger = logging.getLogger("repro.orchestrator.serve")
 
@@ -77,7 +81,15 @@ def monitor_from_store(
                 monitor.handle(event)
     if events_path is not None and Path(events_path).exists():
         _replay_events_file(monitor, Path(events_path))
-    if monitor.total is not None and len(monitor.cells) >= monitor.total:
+    # Only *terminal* cells count toward completion: a store replayed
+    # mid-campaign holds running cells too, and marking the monitor
+    # finished from their mere presence made `/status` claim a finished
+    # campaign (with ``eta_s: 0.0``) at t=0.
+    terminal = sum(
+        1 for cell in monitor.cells.values()
+        if cell["status"] in TERMINAL_STATUSES
+    )
+    if monitor.total is not None and terminal >= monitor.total:
         monitor.finished = True
     return monitor
 

@@ -64,6 +64,9 @@ SCENARIO_OVERRIDES = frozenset(
         # schedule dict (see repro.faults); both are plain data, so grids
         # sweep fault profiles like any other axis.
         "faults",
+        # Fidelity tier (packet | fluid | auto, see repro.fidelity) —
+        # sweepable so campaigns can compare tiers cell by cell.
+        "fidelity",
     }
 )
 

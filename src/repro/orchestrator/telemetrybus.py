@@ -393,7 +393,11 @@ class CampaignMonitor:
             mean_wall = (sum(wall_times) / len(wall_times)) if wall_times else None
             if self.finished or (total and done >= total):
                 state = "finished"
-                eta_s: Optional[float] = 0.0
+                # An ETA of 0.0 is only meaningful once at least one cell
+                # actually completed; a monitor marked finished before any
+                # terminal record arrived (e.g. rebuilt from a store of
+                # still-running cells) has no ETA to report yet.
+                eta_s: Optional[float] = 0.0 if done else None
             else:
                 state = "running" if running else "idle"
                 if mean_wall is not None and total:

@@ -36,6 +36,10 @@ class DeploymentReport:
     merges: int = 0
     explicit_drops: int = 0
     split_disabled: int = 0
+    #: Highest egress-queue occupancy (bytes) seen on any of the run's
+    #: links — the figure-level pressure peak the fluid-vs-packet
+    #: metamorphic relation compares across fidelity tiers.
+    peak_queue_bytes: int = 0
     drop_breakdown: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 

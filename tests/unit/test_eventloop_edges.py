@@ -94,6 +94,54 @@ class TestHorizonSemantics:
         assert fired == [1_500]
         assert env.now == 2_000
 
+    def test_both_loops_agree_on_events_exactly_at_horizon(self):
+        # The two run_until docstrings once read differently ("until
+        # time exceeds" vs "until time would exceed"); this pins the
+        # actual, shared contract — the horizon is inclusive, ties at
+        # the horizon all execute, and both loops agree on executed and
+        # monitor-fire counts.
+        def drive(loop_cls):
+            loop = loop_cls()
+            fires = []
+            loop.monitor = fires.append
+            order = []
+            loop.schedule_at(50, lambda: order.append("early"))
+            # Two ties exactly at the horizon, one of them scheduling a
+            # third tie mid-drain, plus one event just beyond.
+            loop.schedule_at(100, lambda: (
+                order.append("tie-1"),
+                loop.schedule_at(100, lambda: order.append("tie-3")),
+            ))
+            loop.schedule_at(100, lambda: order.append("tie-2"))
+            loop.schedule_at(101, lambda: order.append("beyond"))
+            loop.run_until(100)
+            return order, fires, loop.events_executed, loop.now, loop.pending_events
+
+        reference = drive(EventLoop)
+        fast = drive(FastEventLoop)
+        assert reference == fast
+        order, fires, executed, now, pending = reference
+        assert order == ["early", "tie-1", "tie-2", "tie-3"]
+        assert fires == [50, 100, 100, 100]
+        assert executed == 4 and now == 100 and pending == 1
+
+    def test_monitor_fires_identically_across_successive_horizons(self):
+        def drive(loop_cls):
+            loop = loop_cls()
+            fires = []
+            loop.monitor = fires.append
+            for when in (10, 20, 20, 30):
+                loop.schedule_at(when, lambda: None)
+            loop.run_until(20)
+            first = list(fires)
+            loop.run_until(30)
+            return first, fires
+
+        assert drive(EventLoop) == drive(FastEventLoop)
+        first, total = drive(EventLoop)
+        assert first == [10, 20, 20]
+        assert total == [10, 20, 20, 30]
+
     def test_successive_windows_partition_events(self, env):
         hits = []
         for when in (10, 20, 30, 40):

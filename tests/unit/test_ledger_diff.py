@@ -59,6 +59,43 @@ class TestDetectRegression:
         assert not result["regressed"]
         assert "insufficient history" in result["reason"]
 
+    def test_exact_window_length_history_uses_single_sample_baseline(self):
+        # window + 1 samples is the smallest history that can be judged:
+        # the baseline is the lone leading sample, and a sustained drop
+        # below it must flag without any mis-indexing.
+        result = detect_regression([100.0, 40.0, 41.0, 42.0], window=3)
+        assert result["samples"] == 4
+        assert result["baseline"] == 100.0
+        assert result["regressed"]
+        # Same length, flat values: quiet.
+        flat = detect_regression([100.0, 99.0, 101.0, 100.0], window=3)
+        assert not flat["regressed"]
+
+    def test_cli_trend_exits_zero_quietly_on_short_history(self, tmp_path, capsys):
+        # `repro bench trend` over a history shorter than the sliding
+        # window must exit 0 and say why, never flag or traceback.
+        from repro.cli import main
+
+        path = _history(tmp_path, [100.0, 50.0])
+        assert main(["bench", "trend", "--history", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "insufficient history" in out
+
+        empty = tmp_path / "empty_history.jsonl"
+        empty.write_text("")
+        assert main(["bench", "trend", "--history", str(empty)]) == 0
+
+        missing = tmp_path / "does_not_exist.jsonl"
+        assert main(["bench", "trend", "--history", str(missing)]) == 0
+
+    def test_cli_trend_exact_window_length_flags_and_stays_quiet(self, tmp_path):
+        from repro.cli import main
+
+        regressed = _history(tmp_path, [100.0, 40.0, 41.0, 42.0])
+        assert main(["bench", "trend", "--history", str(regressed)]) == 3
+        flat = _history(tmp_path, [100.0, 99.0, 101.0, 100.0])
+        assert main(["bench", "trend", "--history", str(flat)]) == 0
+
     def test_parameter_validation(self):
         with pytest.raises(ValueError, match="window"):
             detect_regression([1.0], window=0)

@@ -107,6 +107,76 @@ class TestCampaignMonitor:
         assert status["state"] == "finished"
         assert status["eta_s"] == 0.0
 
+    def test_eta_is_null_when_finished_without_completed_cells(self):
+        # A monitor can be marked finished before any terminal record
+        # arrives (e.g. rebuilt from a store of running cells); claiming
+        # "finished in 0.0s" at t=0 was the regression — eta_s must stay
+        # null until the first completed cell.
+        monitor = CampaignMonitor(total=2)
+        monitor.handle({"type": "cell_started", "spec_hash": "a",
+                        "scenario": "s", "params": {}, "pid": 1, "ts": 5.0})
+        monitor.handle({"type": "cell_started", "spec_hash": "b",
+                        "scenario": "s", "params": {}, "pid": 2, "ts": 5.0})
+        monitor.finished = True
+        status = monitor.status()
+        assert status["state"] == "finished"
+        assert status["eta_s"] is None
+        # The Prometheus exposition must omit the ETA line, not emit 0.0.
+        from repro.orchestrator.serve import prometheus_text
+
+        text = prometheus_text(status)
+        assert "repro_campaign_eta_seconds" not in text
+        # Once a cell completes, the ETA line comes back.
+        monitor.handle(_finished("a"))
+        monitor.handle(_finished("b"))
+        finished = monitor.status()
+        assert finished["eta_s"] == 0.0
+        assert "repro_campaign_eta_seconds" in prometheus_text(finished)
+
+    def test_monitor_from_store_ignores_running_cells_for_finished(self):
+        # monitor_from_store used to flip `finished` whenever the number
+        # of *known* cells reached the total, counting still-running
+        # cells replayed from the events sidecar.
+        from repro.orchestrator.serve import monitor_from_store
+
+        monitor = monitor_from_store()
+        assert monitor.status()["state"] == "idle"
+
+        class _Store:
+            def latest_by_hash(self):
+                return {
+                    "a": {"spec_hash": "a", "scenario": "s", "params": {},
+                          "status": "ok", "wall_time_s": 1.0},
+                }
+
+        class _Campaign:
+            point_count = 2
+            name = "c"
+            scenario = "s"
+            mode = "both"
+
+        partial = monitor_from_store(campaign=_Campaign(), store=_Store())
+        partial.handle({"type": "cell_started", "spec_hash": "b",
+                        "scenario": "s", "params": {}, "pid": 1, "ts": 5.0})
+        # Two known cells, but only one terminal: not finished.
+        status = partial.status()
+        assert status["state"] != "finished"
+        assert status["cells_done"] == 1
+
+        class _FullStore:
+            def latest_by_hash(self):
+                return {
+                    "a": {"spec_hash": "a", "scenario": "s", "params": {},
+                          "status": "ok", "wall_time_s": 1.0},
+                    "b": {"spec_hash": "b", "scenario": "s", "params": {},
+                          "status": "ok", "wall_time_s": 1.0},
+                }
+
+        complete = monitor_from_store(campaign=_Campaign(), store=_FullStore())
+        status = complete.status()
+        assert status["state"] == "finished"
+        assert status["eta_s"] == 0.0
+
     def test_running_cells_tracked_through_started_events(self):
         monitor = CampaignMonitor(total=2)
         monitor.handle({"type": "cell_started", "spec_hash": "a",
