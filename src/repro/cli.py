@@ -220,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="result store path (default results/<campaign>.jsonl)",
         )
         sub.add_argument(
+            "--shards", type=int, default=None, metavar="N",
+            help="split the store into N hash-keyed shard files "
+                 "(<name>.shard-NN.jsonl); existing shards are detected "
+                 "automatically, so this mainly matters on first write",
+        )
+        sub.add_argument(
             "--time-scale", type=float, default=None,
             help="override the campaign's simulated-time scale "
                  "(part of each run's identity, so status/report need the "
@@ -250,6 +256,22 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument(
         "--heartbeat", type=float, default=5.0, metavar="SECONDS",
         help="seconds between per-cell worker heartbeats on the bus (default 5)",
+    )
+    campaign_run.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock deadline under parallel dispatch; a cell "
+             "past it loses its worker and is retried (default: none)",
+    )
+    campaign_run.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="retry budget per cell across crashes, timeouts and recorded "
+             "failures; at the budget the cell is stamped 'exhausted' "
+             "(default 3; 0 retries forever)",
+    )
+    campaign_run.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base of the exponential backoff between cell retries "
+             "(default 0.5)",
     )
 
     campaign_status = campaign_sub.add_parser(
@@ -1091,7 +1113,7 @@ def _load_campaign(args):
     if getattr(args, "time_scale", None) is not None:
         campaign = campaign.with_time_scale(args.time_scale)
     store_path = Path(args.store) if args.store else default_store_path(campaign.name)
-    return campaign, ResultStore(store_path)
+    return campaign, ResultStore(store_path, shards=getattr(args, "shards", None))
 
 
 def _campaign_run(args) -> int:
@@ -1125,6 +1147,9 @@ def _campaign_run(args) -> int:
             bus=bus,
             log_level=log_level,
             heartbeat_interval_s=args.heartbeat,
+            cell_timeout_s=args.cell_timeout,
+            max_attempts=args.max_attempts,
+            retry_backoff_s=args.retry_backoff,
         )
         summary = executor.run_campaign(
             campaign, store=store, resume=not args.no_resume
@@ -1136,9 +1161,12 @@ def _campaign_run(args) -> int:
         json.dump(summary.as_row(), sys.stdout, indent=2)
         print()
     else:
+        failed = f"{summary.failed} failed"
+        if summary.exhausted:
+            failed += f", {summary.exhausted} exhausted"
         print(
             f"campaign {campaign.name!r}: {summary.total} points, "
-            f"{summary.executed} executed ({summary.failed} failed), "
+            f"{summary.executed} executed ({failed}), "
             f"{summary.skipped} skipped, {summary.wall_time_s:.2f}s "
             f"-> {store.path}"
         )
@@ -1190,22 +1218,32 @@ def _campaign_serve(args) -> int:
 def _campaign_status(args) -> int:
     campaign, store = _load_campaign(args)
     specs = campaign.expand()
-    latest = store.latest_by_hash()
+    latest = store.latest_by_hash()  # ok-wins: agrees with `campaign report`
     completed = store.completed_hashes()  # mirrors the executor's resume set
     done = sum(1 for spec in specs if spec.spec_hash in completed)
+    exhausted = sum(
+        1
+        for spec in specs
+        if latest.get(spec.spec_hash, {}).get("status") == "exhausted"
+    )
     # Only count points whose attempts all failed; errors superseded by a
     # successful retry are history, not outstanding failures.
     failing = sum(
         1
         for spec in specs
-        if spec.spec_hash in latest and spec.spec_hash not in completed
+        if spec.spec_hash in latest
+        and spec.spec_hash not in completed
+        and latest[spec.spec_hash].get("status") != "exhausted"
     )
     print(f"campaign:  {campaign.name} ({campaign.scenario}, mode={campaign.mode})")
     print(f"store:     {store.path}")
+    if store.shards > 1:
+        print(f"shards:    {store.shards}")
     print(f"points:    {len(specs)}")
     print(f"completed: {done}")
-    print(f"pending:   {len(specs) - done}")
+    print(f"pending:   {len(specs) - done - exhausted}")
     print(f"failing:   {failing} (latest attempt errored; retried on resume)")
+    print(f"exhausted: {exhausted} (retry budget spent; re-run with --no-resume)")
     return 0
 
 

@@ -189,7 +189,7 @@ def validate_observation(observation: Any) -> None:
 
 CAMPAIGN_SCHEMA = "repro.campaign/v1"
 
-_CELL_STATUSES = ("running", "ok", "error", "violation")
+_CELL_STATUSES = ("running", "ok", "error", "violation", "exhausted")
 
 
 def _require_campaign_envelope(data: Any, kind: str) -> None:
@@ -210,7 +210,8 @@ def validate_campaign_status(data: Any) -> Dict[str, Any]:
     _require_keys(
         data,
         ("state", "cells_total", "cells_done", "cells_ok", "cells_error",
-         "cells_violation", "cells_running", "cells_pending",
+         "cells_violation", "cells_exhausted", "cells_running",
+         "cells_pending", "retries_total", "workers_died",
          "violations_total", "progress", "eta_s", "slices"),
         "campaign status",
     )
@@ -219,16 +220,19 @@ def validate_campaign_status(data: Any) -> Dict[str, Any]:
         f"campaign status: bad state {data['state']!r}",
     )
     for key in ("cells_total", "cells_done", "cells_ok", "cells_error",
-                "cells_violation", "cells_running", "cells_pending",
+                "cells_violation", "cells_exhausted", "cells_running",
+                "cells_pending", "retries_total", "workers_died",
                 "violations_total"):
         _require(
             isinstance(data[key], int) and data[key] >= 0,
             f"campaign status: {key} must be a non-negative integer",
         )
-    done = (data["cells_ok"] + data["cells_error"] + data["cells_violation"])
+    done = (data["cells_ok"] + data["cells_error"]
+            + data["cells_violation"] + data["cells_exhausted"])
     _require(
         data["cells_done"] == done,
-        f"campaign status: cells_done {data['cells_done']} != ok+error+violation {done}",
+        "campaign status: cells_done "
+        f"{data['cells_done']} != ok+error+violation+exhausted {done}",
     )
     _require(
         data["cells_done"] <= data["cells_total"],
@@ -305,8 +309,8 @@ def validate_campaign_event(data: Any) -> Dict[str, Any]:
         isinstance(data["ts"], (int, float)),
         "campaign event: ts must be a number",
     )
-    if data["type"] in ("cell_started", "cell_finished", "heartbeat",
-                        "violation", "obs_summary"):
+    if data["type"] in ("cell_started", "cell_finished", "cell_retried",
+                        "heartbeat", "violation", "obs_summary"):
         _require_keys(data, ("spec_hash",), f"campaign event {data['type']!r}")
     return data
 

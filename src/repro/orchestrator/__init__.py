@@ -4,10 +4,13 @@ The subsystem has seven layers:
 
 - :mod:`repro.orchestrator.spec` — scenario registry, campaign grids and
   hashable run descriptors;
-- :mod:`repro.orchestrator.executor` — multiprocessing fan-out with a
-  serial fallback;
+- :mod:`repro.orchestrator.executor` — parallel fan-out with a serial
+  fallback;
+- :mod:`repro.orchestrator.dispatcher` — the fault-tolerant work queue
+  behind the executor: cell leases, per-cell timeouts, bounded retry
+  with backoff, worker-crash recovery;
 - :mod:`repro.orchestrator.store` — append-only JSONL records keyed by
-  spec hash, enabling resume;
+  spec hash (optionally sharded by hash), enabling resume;
 - :mod:`repro.orchestrator.aggregate` — regrouping records into
   per-figure tables;
 - :mod:`repro.orchestrator.telemetrybus` — structured worker events over
@@ -18,6 +21,7 @@ The subsystem has seven layers:
   bench history, with sliding-window regression detection.
 """
 
+from repro.orchestrator.dispatcher import DispatchLoop
 from repro.orchestrator.executor import (
     CampaignExecutor,
     CampaignSummary,
@@ -49,6 +53,7 @@ __all__ = [
     "CampaignServer",
     "CampaignSpec",
     "CampaignSummary",
+    "DispatchLoop",
     "ResultStore",
     "RunLedger",
     "RunSpec",

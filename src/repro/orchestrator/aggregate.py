@@ -17,12 +17,30 @@ Record = Dict[str, Any]
 
 
 def latest_ok_by_hash(records: Iterable[Record]) -> Dict[str, Record]:
-    """Most recent successful record per spec hash."""
+    """Most recent successful record per spec hash (**ok-wins**).
+
+    A later *failed* retry never shadows an earlier ``ok`` record — the
+    same rule :meth:`repro.orchestrator.store.ResultStore.latest_by_hash`
+    applies — so ``campaign report`` and ``campaign status`` agree about
+    every cell.
+    """
     latest: Dict[str, Record] = {}
     for record in records:
         if record.get("status") == "ok" and record.get("spec_hash"):
             latest[record["spec_hash"]] = record
     return latest
+
+
+def latest_status_by_hash(records: Iterable[Record]) -> Dict[str, str]:
+    """Authoritative status per spec hash, ok-wins (see above)."""
+    status: Dict[str, str] = {}
+    for record in records:
+        spec_hash = record.get("spec_hash")
+        if not spec_hash:
+            continue
+        if status.get(spec_hash) != "ok":
+            status[spec_hash] = record.get("status", "ok")
+    return status
 
 
 def align(specs: Sequence[RunSpec], records: Iterable[Record]) -> List[Optional[Record]]:
@@ -44,7 +62,9 @@ def campaign_rows(
     reports.
     """
     specs = campaign.expand()
+    records = list(records)
     aligned = align(specs, records)
+    statuses = latest_status_by_hash(records)
     swept = sorted(campaign.grid)
     rows: List[Dict[str, Any]] = []
     for spec, record in zip(specs, aligned):
@@ -52,7 +72,9 @@ def campaign_rows(
             continue
         row: Dict[str, Any] = {axis: spec.params.get(axis) for axis in swept}
         if record is None:
-            row["status"] = "pending"
+            # Cells with no ok record report their real latest status
+            # (error/exhausted), not a misleading "pending".
+            row["status"] = statuses.get(spec.spec_hash, "pending")
             rows.append(row)
             continue
         metrics = record.get("metrics", {})

@@ -1,13 +1,22 @@
-"""Parallel campaign execution over a multiprocessing pool.
+"""Parallel campaign execution over a fault-tolerant dispatch loop.
 
 Each run owns a private :class:`~repro.netsim.eventloop.EventLoop`, so
 grid points are embarrassingly parallel: the executor fans pending
 :class:`~repro.orchestrator.spec.RunSpec` descriptors out to worker
-processes and streams completed records back into the result store as
-they arrive.  ``workers=1`` (or a single pending run) falls back to
-plain in-process execution — the debugging path, and the path the
-experiment modules use so figure regeneration stays deterministic and
-cheap to trace.
+processes via :class:`~repro.orchestrator.dispatcher.DispatchLoop` —
+per-cell leases with optional timeouts, bounded retry with exponential
+backoff, and crash recovery, so one wedged or OOM-killed worker can
+delay a campaign but never stall it — and streams completed records
+back into the result store as they arrive.  ``workers=1`` (or a single
+pending run) falls back to plain in-process execution — the debugging
+path, and the path the experiment modules use so figure regeneration
+stays deterministic and cheap to trace.
+
+Retry budgets span resumes: failed attempts recorded in the store
+(``error``/``violation`` records) count against ``max_attempts``, and a
+cell whose budget is spent is stamped with a terminal
+``status: "exhausted"`` record instead of being silently re-run on
+every resume forever.
 
 Run descriptors carry only plain data; workers rebuild the scenario
 (chains, workload, topology) from the registry on their side of the
@@ -42,6 +51,13 @@ from repro.telemetry.report import ComparisonReport, DeploymentReport
 
 #: Callback invoked with each finished record (progress reporting).
 ProgressCallback = Callable[[Dict[str, Any]], None]
+
+#: Default per-cell retry budget (attempts, not retries): a cell may
+#: fail twice and be tried a third time before it is ``exhausted``.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Default base of the exponential in-run retry backoff, in seconds.
+DEFAULT_RETRY_BACKOFF_S = 0.5
 
 
 def _campaign_worker_init(
@@ -225,6 +241,10 @@ class CampaignSummary:
     executed: int = 0
     skipped: int = 0
     failed: int = 0
+    #: Cells whose retry budget ran out (subset of ``failed``) — either
+    #: stamped at resume time from store history or mid-run by the
+    #: dispatcher after repeated crashes/timeouts.
+    exhausted: int = 0
     wall_time_s: float = 0.0
     records: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -273,6 +293,7 @@ class CampaignSummary:
             "executed": self.executed,
             "skipped": self.skipped,
             "failed": self.failed,
+            "exhausted": self.exhausted,
             "wall_time_s": round(self.wall_time_s, 2),
         }
 
@@ -298,6 +319,19 @@ class CampaignExecutor:
         otherwise inherit whatever logging config ``fork`` copied).
     heartbeat_interval_s:
         Seconds between per-cell worker heartbeats when a bus is set.
+    cell_timeout_s:
+        Per-cell wall-clock deadline under the parallel dispatcher; a
+        cell past it loses its worker (SIGKILL) and is retried.  ``None``
+        (the default) disables timeouts.  The serial path ignores this —
+        there is no second process to take over.
+    max_attempts:
+        Retry budget per cell, counted across resumes via the store's
+        ``error``/``violation`` history plus in-run crashes/timeouts.  A
+        cell at the budget is stamped ``status: "exhausted"`` instead of
+        being re-run.  ``None`` or ``0`` retries forever (the historical
+        behavior).
+    retry_backoff_s:
+        Base of the exponential backoff between in-run retries.
     """
 
     def __init__(
@@ -307,16 +341,24 @@ class CampaignExecutor:
         bus: Optional[TelemetryBus] = None,
         log_level: Optional[str] = None,
         heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+        cell_timeout_s: Optional[float] = None,
+        max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     ) -> None:
         if workers is None:
             workers = multiprocessing.cpu_count()
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if max_attempts is not None and max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0")
         self.workers = workers
         self.progress = progress
         self.bus = bus
         self.log_level = log_level
         self.heartbeat_interval_s = heartbeat_interval_s
+        self.cell_timeout_s = cell_timeout_s
+        self.max_attempts = max_attempts or None
+        self.retry_backoff_s = retry_backoff_s
 
     def run_campaign(
         self,
@@ -341,12 +383,51 @@ class CampaignExecutor:
         store: Optional[ResultStore] = None,
         resume: bool = True,
     ) -> CampaignSummary:
-        """Execute *specs*, skipping hashes the store already completed."""
+        """Execute *specs*, skipping hashes the store already completed.
+
+        Resume semantics: hashes with an ``ok`` record are skipped;
+        hashes whose recorded failed attempts meet ``max_attempts`` are
+        stamped with a terminal ``exhausted`` record (once) instead of
+        being re-run; everything else is dispatched, with its store
+        attempt count carried into the dispatcher's budget.
+        """
+        from repro.orchestrator.dispatcher import exhausted_record
+
         started = time.perf_counter()
         specs = dedupe_specs(specs)
-        completed = store.completed_hashes() if (store is not None and resume) else set()
-        pending = [spec for spec in specs if spec.spec_hash not in completed]
-        summary = CampaignSummary(total=len(specs), skipped=len(specs) - len(pending))
+        completed: set = set()
+        attempts: Dict[str, int] = {}
+        latest: Dict[str, Dict[str, Any]] = {}
+        if store is not None and resume:
+            completed = store.completed_hashes()
+            attempts = store.attempt_counts()
+            latest = store.latest_by_hash()
+        pending: List[RunSpec] = []
+        newly_exhausted: List[RunSpec] = []
+        already_exhausted = 0
+        for spec in specs:
+            if spec.spec_hash in completed:
+                continue
+            if latest.get(spec.spec_hash, {}).get("status") == "exhausted":
+                # Already stamped terminal (possibly by in-run crash
+                # retries, which leave no error records to count);
+                # only --no-resume re-runs it.
+                already_exhausted += 1
+                continue
+            if (
+                self.max_attempts is not None
+                and attempts.get(spec.spec_hash, 0) >= self.max_attempts
+            ):
+                newly_exhausted.append(spec)
+                continue
+            pending.append(spec)
+        # Cells exhausted on an *earlier* resume are skipped like
+        # completed ones; newly exhausted cells flow through the record
+        # stream below so their terminal marker is stored and reported.
+        summary = CampaignSummary(
+            total=len(specs),
+            skipped=len(specs) - len(pending) - len(newly_exhausted),
+        )
 
         if self.bus is not None:
             self.bus.emit(
@@ -355,15 +436,30 @@ class CampaignExecutor:
                     "total": len(specs),
                     "pending": len(pending),
                     "skipped": summary.skipped,
+                    "exhausted": already_exhausted + len(newly_exhausted),
                     "workers": min(self.workers, len(pending)) or 1,
                     **getattr(self, "_campaign_meta", {}),
                 }
             )
+
+        def stream() -> Iterable[Dict[str, Any]]:
+            for spec in newly_exhausted:
+                yield exhausted_record(
+                    spec,
+                    attempts.get(spec.spec_hash, 0),
+                    "recorded failures from previous runs",
+                )
+            for record in self._execute(pending, attempts):
+                yield record
+
         try:
-            for record in self._execute(pending):
+            for record in stream():
                 summary.executed += 1
-                if record.get("status") != "ok":
+                status = record.get("status")
+                if status != "ok":
                     summary.failed += 1
+                if status == "exhausted":
+                    summary.exhausted += 1
                 if store is not None:
                     store.append(record)
                 if self.bus is not None:
@@ -388,13 +484,19 @@ class CampaignExecutor:
                 )
         return summary
 
-    def _execute(self, pending: Sequence[RunSpec]) -> Iterable[Dict[str, Any]]:
+    def _execute(
+        self,
+        pending: Sequence[RunSpec],
+        base_attempts: Optional[Mapping[str, int]] = None,
+    ) -> Iterable[Dict[str, Any]]:
         if not pending:
             return
         if self.workers <= 1 or len(pending) == 1:
-            # Serial path: same telemetry contract as the pool, armed
-            # in-process (and restored afterwards — figure experiments
-            # share this process).
+            # Serial path: same telemetry contract as the dispatcher,
+            # armed in-process (and restored afterwards — figure
+            # experiments share this process).  No second process exists
+            # to recover a crash or enforce a timeout here; failures are
+            # captured as error records and budgeted at the next resume.
             with telemetrybus.worker_sink(
                 self.bus.queue.put if self.bus is not None else None,
                 self.heartbeat_interval_s,
@@ -402,15 +504,18 @@ class CampaignExecutor:
                 for spec in pending:
                     yield execute_run(spec)
             return
-        processes = min(self.workers, len(pending))
-        with multiprocessing.get_context().Pool(
-            processes=processes,
-            initializer=_campaign_worker_init,
-            initargs=(
-                self.bus.queue if self.bus is not None else None,
-                self.log_level,
-                self.heartbeat_interval_s,
-            ),
-        ) as pool:
-            for record in pool.imap_unordered(execute_run, pending):
-                yield record
+        # Imported lazily: the dispatcher's workers import this module.
+        from repro.orchestrator.dispatcher import DispatchLoop
+
+        loop = DispatchLoop(
+            processes=min(self.workers, len(pending)),
+            bus_queue=self.bus.queue if self.bus is not None else None,
+            emit=self.bus.emit if self.bus is not None else None,
+            log_level=self.log_level,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            cell_timeout_s=self.cell_timeout_s,
+            max_attempts=self.max_attempts,
+            retry_backoff_s=self.retry_backoff_s,
+        )
+        for record in loop.run(pending, base_attempts):
+            yield record

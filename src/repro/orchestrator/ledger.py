@@ -22,7 +22,7 @@ import statistics
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.orchestrator.store import ResultStore
+from repro.orchestrator.store import ResultStore, shard_stem
 
 
 def _default_history_path() -> Path:
@@ -57,14 +57,24 @@ class RunLedger:
     # ------------------------------------------------------------------ #
 
     def store_paths(self) -> List[Path]:
-        """Campaign store files under the results root, sorted by name."""
+        """Campaign store base paths under the results root, sorted.
+
+        Shard files (``<name>.shard-NN.jsonl``) collapse into their base
+        store path, so a sharded campaign is one ledger entry — whether
+        or not the legacy single file also exists on disk.
+        """
         if not self.results_root.is_dir():
             return []
-        return sorted(
-            path
-            for path in self.results_root.glob("*.jsonl")
-            if not path.name.endswith(".events.jsonl")
-        )
+        bases = set()
+        for path in self.results_root.glob("*.jsonl"):
+            if path.name.endswith(".events.jsonl"):
+                continue
+            stem = shard_stem(path)
+            if stem is not None:
+                bases.add(path.with_name(f"{stem}.jsonl"))
+            else:
+                bases.add(path)
+        return sorted(bases)
 
     def campaign_runs(self) -> List[Dict[str, Any]]:
         """One summary row per campaign store."""
@@ -85,6 +95,7 @@ class RunLedger:
                     "ok": statuses.get("ok", 0),
                     "error": statuses.get("error", 0),
                     "violation": statuses.get("violation", 0),
+                    "exhausted": statuses.get("exhausted", 0),
                     "violations_total": violations,
                 }
             )

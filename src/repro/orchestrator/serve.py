@@ -112,10 +112,12 @@ def _replay_events_file(monitor: CampaignMonitor, events_path: Path) -> None:
 
 
 class StoreFollower(threading.Thread):
-    """Tails a store and its events sidecar into a monitor, live.
+    """Tails a store (all shards) and its events sidecar into a monitor.
 
     Byte offsets ensure every complete line is consumed exactly once;
     a torn trailing line (no newline yet) is left for the next poll.
+    The set of store files is re-resolved on every poll, so shard files
+    that appear after the follower starts are picked up live.
     """
 
     def __init__(
@@ -128,6 +130,7 @@ class StoreFollower(threading.Thread):
         super().__init__(daemon=True, name="store-follower")
         self.monitor = monitor
         self.store_path = Path(store_path)
+        self._store = ResultStore(store_path)
         self.events_path = (
             Path(events_path) if events_path is not None
             else events_path_for(store_path)
@@ -137,10 +140,11 @@ class StoreFollower(threading.Thread):
         self._stopped = threading.Event()
 
     def poll_once(self) -> int:
-        """Consume new complete lines from both files; returns lines folded."""
+        """Consume new complete lines from every file; returns lines folded."""
         folded = 0
         folded += self._consume(self.events_path, from_store=False)
-        folded += self._consume(self.store_path, from_store=True)
+        for path in self._store.reader_paths():
+            folded += self._consume(path, from_store=True)
         return folded
 
     def _consume(self, path: Path, from_store: bool) -> int:
@@ -223,7 +227,7 @@ def prometheus_text(status: Dict[str, Any]) -> str:
         "# HELP repro_campaign_cells Cells by state.\n"
         "# TYPE repro_campaign_cells gauge\n",
     ]
-    for state in ("ok", "error", "violation", "running", "pending"):
+    for state in ("ok", "error", "violation", "exhausted", "running", "pending"):
         value = status.get(f"cells_{state}")
         if value is None:
             continue
@@ -232,6 +236,12 @@ def prometheus_text(status: Dict[str, Any]) -> str:
     lines.extend([
         metric("repro_campaign_violations_total", status["violations_total"],
                "Distinct invariant violations observed.", kind="counter"),
+        metric("repro_campaign_retries_total", status.get("retries_total"),
+               "Cell dispatch retries after crashes or timeouts.",
+               kind="counter"),
+        metric("repro_campaign_workers_died_total", status.get("workers_died"),
+               "Worker processes lost to crashes or timeout kills.",
+               kind="counter"),
         metric("repro_campaign_progress", status["progress"],
                "Fraction of cells finished."),
         metric("repro_campaign_eta_seconds", status.get("eta_s"),

@@ -45,14 +45,17 @@ EVENT_TYPES = (
     "campaign_started",
     "cell_started",
     "heartbeat",
+    "cell_retried",
+    "worker_died",
     "cell_finished",
     "violation",
     "obs_summary",
     "campaign_finished",
 )
 
-#: Terminal cell statuses (mirrors the executor's record statuses).
-TERMINAL_STATUSES = ("ok", "error", "violation")
+#: Terminal cell statuses (mirrors the executor's record statuses;
+#: ``exhausted`` is the dispatcher's retry-budget-spent terminal).
+TERMINAL_STATUSES = ("ok", "error", "violation", "exhausted")
 
 #: Default seconds between worker heartbeats while a cell runs.
 DEFAULT_HEARTBEAT_INTERVAL_S = 5.0
@@ -213,6 +216,8 @@ def events_from_record(record: Mapping[str, Any]) -> List[Dict[str, Any]]:
     }
     if record.get("error"):
         finished["error"] = record["error"]
+    if record.get("attempts") is not None:
+        finished["attempts"] = record["attempts"]
     events = [finished]
     for violation in record.get("violations", []):
         events.append(
@@ -270,6 +275,8 @@ class CampaignMonitor:
         self.started_ts: Optional[float] = None
         self.finished = False
         self.cells: Dict[str, Dict[str, Any]] = {}
+        self.retries_total = 0
+        self.workers_died = 0
         self.violations: List[Dict[str, Any]] = []
         self._violation_keys: set = set()
         self.events: deque = deque(maxlen=events_capacity)
@@ -326,6 +333,16 @@ class CampaignMonitor:
             elif etype == "heartbeat":
                 cell = self._cell(event)
                 cell["heartbeat_ts"] = event.get("ts")
+            elif etype == "cell_retried":
+                cell = self._cell(event)
+                if cell["status"] not in TERMINAL_STATUSES:
+                    cell["status"] = "running"
+                cell["retries"] = int(event.get("attempt", 0))
+                if event.get("reason"):
+                    cell["retry_reason"] = event["reason"]
+                self.retries_total += 1
+            elif etype == "worker_died":
+                self.workers_died += 1
             elif etype == "cell_finished":
                 cell = self._cell(event)
                 cell["status"] = event.get("status", "ok")
@@ -379,12 +396,24 @@ class CampaignMonitor:
         from repro.obs.schema import CAMPAIGN_SCHEMA
 
         with self._lock:
-            by_status: Dict[str, int] = {"ok": 0, "error": 0, "violation": 0, "running": 0}
+            by_status: Dict[str, int] = {
+                "ok": 0,
+                "error": 0,
+                "violation": 0,
+                "exhausted": 0,
+                "running": 0,
+            }
             wall_times: List[float] = []
             for cell in self.cells.values():
                 status = cell["status"]
                 by_status[status] = by_status.get(status, 0) + 1
-                if status in TERMINAL_STATUSES and cell["wall_time_s"] is not None:
+                # Exhausted markers carry no execution time; folding their
+                # 0.0 into the mean would skew the ETA optimistic.
+                if (
+                    status in TERMINAL_STATUSES
+                    and status != "exhausted"
+                    and cell["wall_time_s"] is not None
+                ):
                     wall_times.append(float(cell["wall_time_s"]))
             done = sum(by_status.get(name, 0) for name in TERMINAL_STATUSES)
             total = self.total if self.total is not None else len(self.cells)
@@ -423,8 +452,11 @@ class CampaignMonitor:
                 "cells_ok": by_status.get("ok", 0),
                 "cells_error": by_status.get("error", 0),
                 "cells_violation": by_status.get("violation", 0),
+                "cells_exhausted": by_status.get("exhausted", 0),
                 "cells_running": running,
                 "cells_pending": pending,
+                "retries_total": self.retries_total,
+                "workers_died": self.workers_died,
                 "violations_total": len(self.violations),
                 "progress": round(done / total, 4) if total else 0.0,
                 "mean_cell_wall_s": round(mean_wall, 4) if mean_wall is not None else None,

@@ -122,6 +122,18 @@ class TestPrometheusText:
         text = prometheus_text(monitor.status())
         assert "repro_campaign_cells_total 1" in text
 
+    def test_exhausted_state_and_fault_counters_render(self):
+        monitor = CampaignMonitor(total=2)
+        monitor.handle({"type": "cell_finished", "spec_hash": "a",
+                        "scenario": "s", "params": {}, "status": "exhausted",
+                        "wall_time_s": 0.0, "ts": 1.0})
+        monitor.handle({"type": "worker_died", "worker": 0, "pid": 1,
+                        "reason": "timeout", "spec_hash": "a", "ts": 1.0})
+        text = prometheus_text(validate_campaign_status(monitor.status()))
+        assert 'state="exhausted"} 1' in text
+        assert "# TYPE repro_campaign_workers_died_total counter" in text
+        assert "# TYPE repro_campaign_retries_total counter" in text
+
 
 class TestMonitorFromStore:
     def test_replays_latest_records(self, tmp_path):
@@ -192,6 +204,22 @@ class TestStoreFollower:
         status = monitor.status()
         assert status["cells_done"] == 1
         assert status["violations_total"] == 1
+
+    def test_follows_shard_files_that_appear_mid_poll(self, tmp_path):
+        """A sharded store's files are picked up live — even shards
+        created after the follower started polling."""
+        base = tmp_path / "c.jsonl"
+        monitor = CampaignMonitor(total=3)
+        follower = StoreFollower(monitor, base)
+        assert follower.poll_once() == 0
+        sharded = ResultStore(base, shards=2)
+        sharded.append(_record("00"))  # shard 0
+        sharded.append(_record("01"))  # shard 1
+        assert follower.poll_once() == 2
+        assert follower.poll_once() == 0  # offsets advanced per shard
+        sharded.append(_record("02"))
+        assert follower.poll_once() == 1
+        assert monitor.status()["cells_done"] == 3
 
     def test_thread_lifecycle(self, tmp_path):
         store = ResultStore(tmp_path / "c.jsonl")

@@ -108,6 +108,59 @@ class TestCampaignCli:
         assert [row["send_rate_gbps"] for row in payload["rows"]] == [4.0, 8.0]
         assert all("goodput_gain_percent" in row for row in payload["rows"])
 
+    def test_sharded_report_is_byte_identical_to_single_shard(self, tmp_path, capsys):
+        """Acceptance: a sharded store reproduces the exact `campaign
+        report` output of the single-shard baseline."""
+        spec = self._write_spec(tmp_path)
+        single = tmp_path / "single.jsonl"
+        sharded = tmp_path / "sharded.jsonl"
+
+        assert main(["campaign", "run", str(spec), "--store", str(single),
+                     "--serial", "--no-bus"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", str(spec), "--store", str(sharded),
+                     "--shards", "3", "--serial", "--no-bus"]) == 0
+        capsys.readouterr()
+        assert not sharded.exists()  # records live in the shard files
+        assert sorted(tmp_path.glob("sharded.shard-*.jsonl"))
+
+        assert main(["campaign", "report", str(spec), "--store", str(single)]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["campaign", "report", str(spec), "--store", str(sharded)]) == 0
+        assert capsys.readouterr().out == baseline
+        assert "send_rate_gbps" in baseline
+
+        # `status` agrees too, modulo the store path/shards lines.
+        assert main(["campaign", "status", str(spec), "--store", str(sharded)]) == 0
+        status = capsys.readouterr().out
+        assert "completed: 2" in status and "pending:   0" in status
+
+    def test_status_reports_exhausted_cells(self, tmp_path, capsys):
+        from repro.orchestrator import CampaignSpec, ResultStore
+
+        spec = self._write_spec(tmp_path)
+        store = tmp_path / "results.jsonl"
+        campaign = CampaignSpec.from_file(spec)
+        first, second = campaign.expand()
+        result_store = ResultStore(store)
+        result_store.append(
+            {"spec_hash": first.spec_hash, "status": "ok", "metrics": {}}
+        )
+        result_store.append(
+            {
+                "spec_hash": second.spec_hash,
+                "status": "exhausted",
+                "attempts": 3,
+                "error": "retry budget exhausted after 3 failed attempt(s)",
+            }
+        )
+        assert main(["campaign", "status", str(spec), "--store", str(store)]) == 0
+        status = capsys.readouterr().out
+        assert "completed: 2" not in status
+        assert "completed: 1" in status
+        assert "pending:   0" in status
+        assert "exhausted: 1" in status
+
     def test_campaign_report_without_records(self, tmp_path, capsys):
         spec = self._write_spec(tmp_path)
         assert main(["campaign", "report", str(spec),

@@ -146,6 +146,25 @@ class TestRunLedger:
         assert rows[0]["violation"] == 1
         assert rows[0]["violations_total"] == 1
 
+    def test_sharded_store_is_one_campaign_entry(self, tmp_path):
+        sharded = ResultStore(tmp_path / "grid.jsonl", shards=3)
+        hashes = [f"{value:016x}" for value in range(6)]
+        for spec_hash in hashes:
+            sharded.append({"spec_hash": spec_hash, "status": "ok"})
+        sharded.append({"spec_hash": hashes[0], "status": "error"})  # stale retry
+        other = ResultStore(tmp_path / "other.jsonl")
+        other.append({"spec_hash": "zz", "status": "exhausted", "attempts": 3})
+        ledger = RunLedger(results_root=tmp_path)
+        assert [path.name for path in ledger.store_paths()] == [
+            "grid.jsonl", "other.jsonl",
+        ]
+        rows = ledger.campaign_runs()
+        assert len(rows) == 2
+        grid = next(row for row in rows if row["campaign"] == "grid")
+        assert grid["cells"] == 6
+        assert grid["ok"] == 6  # ok-wins over the later failed retry
+        assert next(r for r in rows if r["campaign"] == "other")["exhausted"] == 1
+
     def test_dotted_get(self):
         assert dotted_get({"a": {"b": 3}}, "a.b") == 3
         assert dotted_get({"a": {"b": 3}}, "a.c") is None

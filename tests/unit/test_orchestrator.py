@@ -225,6 +225,118 @@ class TestResultStore:
         store.append({"spec_hash": "aa", "status": "ok", "metrics": {"x": 2}})
         assert store.latest_by_hash()["aa"]["metrics"] == {"x": 2}
 
+    def test_ok_wins_over_later_failed_retry(self, tmp_path):
+        """Regression: a failed retry after an ok record must not shadow it.
+
+        `campaign status` (store.latest_by_hash) and `campaign report`
+        (aggregate.latest_ok_by_hash) must agree about the same cell.
+        """
+        from repro.orchestrator.aggregate import latest_ok_by_hash
+
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.append({"spec_hash": "aa", "status": "ok", "metrics": {"x": 1}})
+        store.append({"spec_hash": "aa", "status": "error", "error": "flake"})
+        store.append({"spec_hash": "bb", "status": "error", "error": "boom"})
+
+        latest = store.latest_by_hash()
+        assert latest["aa"]["status"] == "ok"
+        assert latest["aa"]["metrics"] == {"x": 1}
+        assert latest["bb"]["status"] == "error"  # never-ok: real status
+        assert store.completed_hashes() == {"aa"}
+        # Both entry points return the identical authoritative record.
+        assert latest_ok_by_hash(store.load())["aa"] == latest["aa"]
+
+    def test_attempt_counts_track_failures_only(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.append({"spec_hash": "aa", "status": "error", "error": "1"})
+        store.append({"spec_hash": "aa", "status": "violation", "error": "2"})
+        store.append({"spec_hash": "bb", "status": "ok"})
+        store.append({"spec_hash": "cc", "status": "exhausted", "attempts": 3})
+        counts = store.attempt_counts()
+        assert counts == {"aa": 2}  # ok and exhausted markers are not attempts
+
+    def test_record_count_extends_from_cursor(self, tmp_path):
+        """Regression: __len__ must not rescan the file on every poll."""
+        path = tmp_path / "runs.jsonl"
+        store = ResultStore(path)
+        store.append({"spec_hash": "aa", "status": "ok"})
+        assert len(store) == 1
+        # An external writer appends (another process's perspective).
+        with path.open("a") as handle:
+            handle.write('{"spec_hash": "bb", "status": "ok"}\n')
+            handle.write('{"spec_hash": "cc", "status": "o')  # torn tail
+        assert store.record_count() == 2  # torn line stays unconsumed
+        with path.open("a") as handle:
+            handle.write('k"}\n')  # the tail completes
+        assert store.record_count() == 3
+        assert store.completed_hashes() == {"aa", "bb", "cc"}
+        # After consuming everything, the cursor sits at EOF: a repeat
+        # poll folds zero new lines.
+        assert store.refresh() == 0
+
+    def test_truncated_file_rebuilds_index(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = ResultStore(path)
+        store.append({"spec_hash": "aa", "status": "ok"})
+        store.append({"spec_hash": "bb", "status": "ok"})
+        assert len(store) == 2
+        path.write_text('{"spec_hash": "cc", "status": "ok"}\n')
+        assert store.completed_hashes() == {"cc"}
+        assert len(store) == 1
+
+
+class TestShardedStore:
+    def test_appends_split_across_shards_and_read_back(self, tmp_path):
+        base = tmp_path / "grid.jsonl"
+        store = ResultStore(base, shards=4)
+        hashes = [f"{value:016x}" for value in range(8)]
+        for spec_hash in hashes:
+            store.append({"spec_hash": spec_hash, "status": "ok"})
+        assert not base.exists()  # sharded layout only
+        shard_files = sorted(tmp_path.glob("grid.shard-*.jsonl"))
+        assert len(shard_files) == 4
+        assert store.completed_hashes() == set(hashes)
+        assert store.record_count() == 8
+
+    def test_one_hash_always_lands_in_one_file(self, tmp_path):
+        store = ResultStore(tmp_path / "grid.jsonl", shards=3)
+        for attempt in range(3):
+            store.append({"spec_hash": "ab34", "status": "error", "n": attempt})
+        store.append({"spec_hash": "ab34", "status": "ok", "n": 99})
+        holding = [
+            path for path in tmp_path.glob("grid.shard-*.jsonl")
+            if "ab34" in path.read_text()
+        ]
+        assert len(holding) == 1
+        # Per-hash append order survived: latest-wins still works.
+        assert store.latest_by_hash()["ab34"]["n"] == 99
+        assert store.attempt_counts() == {"ab34": 3}
+
+    def test_legacy_single_file_resumes_into_shards(self, tmp_path):
+        base = tmp_path / "grid.jsonl"
+        legacy = ResultStore(base)
+        legacy.append({"spec_hash": "aa", "status": "ok"})
+        # The same campaign, promoted to shards: old records still count.
+        promoted = ResultStore(base, shards=2)
+        assert promoted.completed_hashes() == {"aa"}
+        promoted.append({"spec_hash": "bb", "status": "ok"})
+        assert base.read_text().count("\n") == 1  # legacy file untouched
+        assert promoted.completed_hashes() == {"aa", "bb"}
+        # A fresh reader with no shard config auto-detects the layout.
+        fresh = ResultStore(base)
+        assert fresh.completed_hashes() == {"aa", "bb"}
+        assert fresh.shards == 1  # one shard file detected
+
+    def test_shard_detection_ignores_other_campaigns(self, tmp_path):
+        other = ResultStore(tmp_path / "grid-extra.jsonl", shards=2)
+        other.append({"spec_hash": "ff", "status": "ok"})
+        store = ResultStore(tmp_path / "grid.jsonl")
+        assert store.completed_hashes() == set()
+
+    def test_rejects_bad_shard_count(self, tmp_path):
+        with pytest.raises(ValueError, match="shards"):
+            ResultStore(tmp_path / "grid.jsonl", shards=0)
+
 
 class TestExecutor:
     def test_execute_run_records_failure_instead_of_raising(self):
@@ -270,6 +382,64 @@ class TestExecutor:
         store.append({"spec_hash": spec_hash, "status": "error", "error": "crash"})
         summary = CampaignExecutor(workers=1).run_campaign(campaign, store=store)
         assert summary.executed == 1
+        assert store.completed_hashes() == {spec_hash}
+
+    def test_resume_exhausts_cells_past_the_retry_budget(self, tmp_path):
+        """Regression: resume must not re-run a deterministically failing
+        cell forever — at the budget it is stamped `exhausted` once."""
+        campaign = small_campaign(grid={"send_rate_gbps": [4.0]})
+        store = ResultStore(tmp_path / "grid.jsonl")
+        spec_hash = campaign.expand()[0].spec_hash
+        for attempt in range(3):
+            store.append(
+                {"spec_hash": spec_hash, "status": "error", "error": f"boom {attempt}"}
+            )
+
+        summary = CampaignExecutor(workers=1, max_attempts=3).run_campaign(
+            campaign, store=store
+        )
+        assert summary.executed == 1
+        assert summary.failed == 1
+        assert summary.exhausted == 1
+        marker = store.latest_by_hash()[spec_hash]
+        assert marker["status"] == "exhausted"
+        assert marker["attempts"] == 3
+        assert "retry budget exhausted" in marker["error"]
+        with pytest.raises(RuntimeError, match="retry budget"):
+            summary.raise_on_failure()
+
+        # A second resume skips the cell without stamping another marker.
+        again = CampaignExecutor(workers=1, max_attempts=3).run_campaign(
+            campaign, store=store
+        )
+        assert again.executed == 0
+        assert again.skipped == 1
+        assert again.exhausted == 0
+        assert store.record_count() == 4
+
+    def test_below_budget_failures_are_still_retried(self, tmp_path):
+        campaign = small_campaign(grid={"send_rate_gbps": [4.0]})
+        store = ResultStore(tmp_path / "grid.jsonl")
+        spec_hash = campaign.expand()[0].spec_hash
+        store.append({"spec_hash": spec_hash, "status": "error", "error": "flake"})
+        store.append({"spec_hash": spec_hash, "status": "error", "error": "flake"})
+        summary = CampaignExecutor(workers=1, max_attempts=3).run_campaign(
+            campaign, store=store
+        )
+        assert summary.executed == 1
+        assert summary.exhausted == 0
+        assert store.completed_hashes() == {spec_hash}
+
+    def test_max_attempts_zero_never_exhausts(self, tmp_path):
+        campaign = small_campaign(grid={"send_rate_gbps": [4.0]})
+        store = ResultStore(tmp_path / "grid.jsonl")
+        spec_hash = campaign.expand()[0].spec_hash
+        for _ in range(10):
+            store.append({"spec_hash": spec_hash, "status": "error", "error": "x"})
+        summary = CampaignExecutor(workers=1, max_attempts=0).run_campaign(
+            campaign, store=store
+        )
+        assert summary.exhausted == 0
         assert store.completed_hashes() == {spec_hash}
 
     def test_summary_raise_on_failure_lists_errors(self):

@@ -99,6 +99,54 @@ class TestCampaignMonitor:
         assert status["eta_s"] == pytest.approx(3.0)
         assert status["mean_cell_wall_s"] == pytest.approx(3.0)
 
+    def test_retry_and_worker_death_events_fold_into_status(self):
+        monitor = CampaignMonitor(total=2)
+        monitor.handle({"type": "cell_started", "spec_hash": "a",
+                        "scenario": "s", "params": {}, "pid": 10, "ts": 1.0})
+        monitor.handle({"type": "worker_died", "worker": 0, "pid": 10,
+                        "reason": "crashed", "spec_hash": "a", "ts": 2.0})
+        monitor.handle({"type": "cell_retried", "spec_hash": "a",
+                        "scenario": "s", "params": {}, "attempt": 1,
+                        "reason": "crashed", "backoff_s": 0.5, "ts": 2.0})
+        status = monitor.status()
+        assert status["retries_total"] == 1
+        assert status["workers_died"] == 1
+        assert monitor.cells["a"]["status"] == "running"
+        assert monitor.cells["a"]["retries"] == 1
+        assert monitor.cells["a"]["retry_reason"] == "crashed"
+        # The retry is transparent once the cell lands.
+        monitor.handle(_finished("a"))
+        assert monitor.cells["a"]["status"] == "ok"
+
+    def test_exhausted_is_terminal_and_counted(self):
+        monitor = CampaignMonitor(total=2)
+        monitor.handle(_finished("a"))
+        monitor.handle(_finished("b", status="exhausted", wall=0.0, attempts=3,
+                                 error="retry budget exhausted"))
+        status = monitor.status()
+        assert status["cells_done"] == 2
+        assert status["cells_exhausted"] == 1
+        assert status["cells_pending"] == 0
+        assert monitor.has_terminal("b")
+        # The exhausted marker's 0.0 wall time must not skew the mean.
+        assert status["mean_cell_wall_s"] == pytest.approx(1.0)
+
+    def test_exhausted_record_event_carries_attempts(self):
+        events = events_from_record(
+            {
+                "spec_hash": "abc",
+                "scenario": "s",
+                "params": {},
+                "status": "exhausted",
+                "attempts": 3,
+                "error": "retry budget exhausted",
+                "wall_time_s": 0.0,
+            }
+        )
+        assert events[0]["type"] == "cell_finished"
+        assert events[0]["status"] == "exhausted"
+        assert events[0]["attempts"] == 3
+
     def test_eta_is_zero_once_finished(self):
         monitor = CampaignMonitor(total=1)
         monitor.handle(_finished("a"))
