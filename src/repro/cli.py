@@ -1525,15 +1525,24 @@ def _workload_preview(args) -> int:
     seed = args.seed if args.seed is not None else current_default_seed()
     trace = spec.trace(seed, args.packets, rate_gbps=args.rate)
     summary = summarize(trace)
+    # Closed-loop workloads also expose their modeled transport state
+    # (windows, RTO floor, epoch rounds) alongside the packet summary.
+    transport = None
+    if hasattr(spec, "transport_preview"):
+        transport = spec.transport_preview(seed, args.packets)
     if args.json:
-        json.dump(
-            {"workload": spec.name, "seed": seed, "summary": summary.as_row()},
-            sys.stdout,
-            indent=2,
-        )
+        payload = {"workload": spec.name, "seed": seed, "summary": summary.as_row()}
+        if transport is not None:
+            payload["transport"] = transport
+        json.dump(payload, sys.stdout, indent=2)
         print()
     else:
         print(render_table([{"workload": spec.name, "seed": seed, **summary.as_row()}]))
+        if transport is not None:
+            print("closed-loop transport (idealized preview):")
+            width = max(len(key) for key in transport)
+            for key, value in transport.items():
+                print(f"  {key.ljust(width)}  {value}")
     return 0
 
 

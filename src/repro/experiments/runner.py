@@ -812,6 +812,13 @@ class ExperimentRunner:
         goodput_to_nf = useful_bytes_to_nf * 8.0 / window_ns
         delivered_goodput = gen_delta.get("useful_bytes_received", 0) * 8.0 / window_ns
         offered = gen_delta.get("bytes_sent", 0) * 8.0 / window_ns
+        # Throughput counts every delivered useful byte, duplicates
+        # included; it equals goodput exactly until a closed-loop
+        # transport retransmits.
+        throughput = (
+            gen_delta.get("useful_bytes_received", 0)
+            + gen_delta.get("duplicate_bytes_received", 0)
+        ) * 8.0 / window_ns
         pcie_bytes = server_delta.get("pcie_rx_bytes", 0) + server_delta.get("pcie_tx_bytes", 0)
 
         report = DeploymentReport(
@@ -847,6 +854,10 @@ class ExperimentRunner:
                 ),
                 default=0,
             ),
+            retransmitted_packets=int(gen_delta.get("retransmitted_packets", 0)),
+            retransmitted_bytes=int(gen_delta.get("retransmitted_bytes", 0)),
+            duplicate_packets=int(gen_delta.get("duplicate_packets_received", 0)),
+            throughput_gbps=throughput,
             drop_breakdown={
                 "server_overflow": int(server_delta.get("overflow_drops", 0)),
                 "chain_dropped": chain_dropped,
@@ -897,6 +908,10 @@ def _aggregate_reports(
         total.explicit_drops += report.explicit_drops
         total.split_disabled += report.split_disabled
         total.peak_queue_bytes = max(total.peak_queue_bytes, report.peak_queue_bytes)
+        total.retransmitted_packets += report.retransmitted_packets
+        total.retransmitted_bytes += report.retransmitted_bytes
+        total.duplicate_packets += report.duplicate_packets
+        total.throughput_gbps += report.throughput_gbps
     total.avg_latency_us = sum(r.avg_latency_us for r in reports) / len(reports)
     total.p99_latency_us = max(r.p99_latency_us for r in reports)
     total.max_latency_us = max(r.max_latency_us for r in reports)

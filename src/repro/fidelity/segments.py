@@ -68,6 +68,8 @@ def plan_steady_segments(
             return []  # stochastic gaps: no deterministic steady state
         if traffic_model.stream_factory is not None:
             return []  # replay: the trace is the workload
+        if getattr(traffic_model, "transport_factory", None) is not None:
+            return []  # closed loop: offered load is emergent, never steady
     schedule = traffic_model.schedule if traffic_model is not None else None
     if schedule is None:
         intervals = [(0, duration_ns, float(scenario.send_rate_gbps))]

@@ -60,6 +60,10 @@ class TrafficGenNode(Node):
         self._loop_stream = traffic_model.loop_stream if traffic_model else True
         self._stream_iter: Optional[Iterator[TimedFrame]] = None
         self._stream_epoch_ns = 0
+        if traffic_model is not None and traffic_model.transport_factory is not None:
+            self.transport = traffic_model.transport_factory(config, self)
+        else:
+            self.transport = None
         self.tx_ports = list(tx_ports) if tx_ports is not None else [0, 1]
         if not self.tx_ports:
             raise ValueError("the traffic generator needs at least one TX port")
@@ -74,6 +78,11 @@ class TrafficGenNode(Node):
         self.packets_received = 0
         self.useful_bytes_received = 0
         self.bytes_received = 0
+        # Closed-loop accounting (always zero on open-loop nodes).
+        self.retransmitted_packets = 0
+        self.retransmitted_bytes = 0
+        self.duplicate_packets_received = 0
+        self.duplicate_bytes_received = 0
         # Observability hooks (repro.obs): all default None so the
         # uninstrumented hot path pays one predictable branch each.
         self.obs_recorder = None
@@ -92,7 +101,9 @@ class TrafficGenNode(Node):
         self._running = True
         self._start_ns = self.env.now
         self._stop_at_ns = self.env.now + duration_ns
-        if self._stream_factory is not None:
+        if self.transport is not None:
+            self.transport.start(self._stop_at_ns)
+        elif self._stream_factory is not None:
             self._stream_iter = self._stream_factory(self.config.seed)
             self._stream_epoch_ns = self.env.now
             self._pump_stream()
@@ -102,6 +113,8 @@ class TrafficGenNode(Node):
     def stop(self) -> None:
         """Stop offering load (already-queued frames still drain)."""
         self._running = False
+        if self.transport is not None:
+            self.transport.stop()
 
     def current_rate_gbps(self) -> float:
         """The offered rate right now (schedule-aware)."""
@@ -131,6 +144,20 @@ class TrafficGenNode(Node):
                 )
         self.send_out(port, packet)
 
+    def transmit_segment(self, packet: Packet, retransmission: bool) -> None:
+        """Put one closed-loop transport segment on the wire.
+
+        Called by the transport engine instead of the burst pacer; the
+        ``packets_sent``/``bytes_sent`` counters include retransmissions
+        (they count frames on the wire), while the ``retransmitted_*``
+        counters isolate the second-and-later copies so the validation
+        engine can reconcile throughput against goodput.
+        """
+        if retransmission:
+            self.retransmitted_packets += 1
+            self.retransmitted_bytes += packet.wire_length
+        self._transmit(packet)
+
     def _emit_burst(self) -> None:
         profiler = self.obs_profiler
         if profiler is None:
@@ -159,8 +186,19 @@ class TrafficGenNode(Node):
             self._transmit(packet)
         # Pace the next burst so the long-run offered rate matches the
         # schedule (or the config's constant rate); the arrival model
-        # perturbs individual gaps around that target.
-        target_gap_ns = burst_bytes * 8 / rate_gbps
+        # perturbs individual gaps around that target.  Scheduled rates
+        # pace from the rate *integral*: quoting the instantaneous rate
+        # would sleep almost forever on a ramp rising from ~zero and
+        # blindly across phase boundaries.
+        if self.schedule is not None:
+            target_gap_ns = self.schedule.gap_for_bits(
+                self.env.now - self._start_ns, burst_bytes * 8
+            )
+            if target_gap_ns is None:  # silent for the rest of the run
+                self._running = False
+                return
+        else:
+            target_gap_ns = burst_bytes * 8 / rate_gbps
         if self._gap_sampler is not None:
             gap_ns = self._gap_sampler.next_gap_ns(target_gap_ns)
         else:
@@ -221,10 +259,24 @@ class TrafficGenNode(Node):
     # ------------------------------------------------------------------ #
 
     def handle_packet(self, packet: Packet, port: int) -> None:
-        """Count a packet that completed the round trip through the NF chain."""
+        """Count a packet that completed the round trip through the NF chain.
+
+        With a closed-loop transport attached the delivery doubles as the
+        segment's acknowledgment, and the transport decides whether this
+        is the sequence number's *first* arrival (goodput) or a duplicate
+        (an original racing its retransmission — throughput only).
+        """
         self.packets_received += 1
         self.bytes_received += packet.wire_length
-        self.useful_bytes_received += packet.useful_bytes
+        if self.transport is not None:
+            duplicate = self.transport.on_delivery(packet)
+            if duplicate:
+                self.duplicate_packets_received += 1
+                self.duplicate_bytes_received += packet.useful_bytes
+            else:
+                self.useful_bytes_received += packet.useful_bytes
+        else:
+            self.useful_bytes_received += packet.useful_bytes
         tx_ns = packet.meta.get("tx_ns")
         latency_ns = None
         if tx_ns is not None:
@@ -251,4 +303,8 @@ class TrafficGenNode(Node):
             "packets_received": self.packets_received,
             "bytes_received": self.bytes_received,
             "useful_bytes_received": self.useful_bytes_received,
+            "retransmitted_packets": self.retransmitted_packets,
+            "retransmitted_bytes": self.retransmitted_bytes,
+            "duplicate_packets_received": self.duplicate_packets_received,
+            "duplicate_bytes_received": self.duplicate_bytes_received,
         }

@@ -1,24 +1,54 @@
-"""Goodput arithmetic helpers."""
+"""Goodput arithmetic helpers.
+
+Degenerate inputs are split into two cases throughout this module:
+*zero* denominators are well-defined measurement edges (an empty
+window, a baseline that delivered nothing) and return an explicit
+``0.0``; *negative* denominators can only come from a caller bug — a
+measurement window whose ends were swapped, a rate computed from
+inverted counters — and raise :class:`ValueError` instead of silently
+masquerading as "no goodput".
+"""
 
 from __future__ import annotations
 
 
 def gbps(byte_count: float, window_ns: float) -> float:
-    """Convert *byte_count* bytes over *window_ns* nanoseconds to Gb/s."""
-    if window_ns <= 0:
+    """Convert *byte_count* bytes over *window_ns* nanoseconds to Gb/s.
+
+    A zero-width window reports ``0.0`` (nothing can be delivered in no
+    time); a *negative* window is a caller bug — swapped interval ends —
+    and raises :class:`ValueError` rather than masking it as zero.
+    """
+    if window_ns < 0:
+        raise ValueError(f"measurement window cannot be negative: {window_ns} ns")
+    if window_ns == 0:
         return 0.0
     return byte_count * 8.0 / window_ns
 
 
 def goodput_gain_percent(payloadpark_gbps: float, baseline_gbps: float) -> float:
-    """Relative goodput gain of PayloadPark over the baseline, in percent."""
-    if baseline_gbps <= 0:
+    """Relative goodput gain of PayloadPark over the baseline, in percent.
+
+    A zero baseline yields ``0.0`` (no reference to gain against); a
+    *negative* baseline rate is impossible by construction and raises
+    :class:`ValueError`.
+    """
+    if baseline_gbps < 0:
+        raise ValueError(f"baseline goodput cannot be negative: {baseline_gbps} Gbps")
+    if baseline_gbps == 0:
         return 0.0
     return (payloadpark_gbps - baseline_gbps) / baseline_gbps * 100.0
 
 
 def savings_percent(baseline_value: float, payloadpark_value: float) -> float:
-    """Relative reduction (e.g. PCIe bytes) achieved by PayloadPark, in percent."""
-    if baseline_value <= 0:
+    """Relative reduction (e.g. PCIe bytes) achieved by PayloadPark, in percent.
+
+    A zero baseline yields ``0.0`` (nothing to save from); a *negative*
+    baseline is impossible for the byte/packet quantities this compares
+    and raises :class:`ValueError`.
+    """
+    if baseline_value < 0:
+        raise ValueError(f"baseline value cannot be negative: {baseline_value}")
+    if baseline_value == 0:
         return 0.0
     return (baseline_value - payloadpark_value) / baseline_value * 100.0

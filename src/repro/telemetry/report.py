@@ -40,6 +40,15 @@ class DeploymentReport:
     #: links — the figure-level pressure peak the fluid-vs-packet
     #: metamorphic relation compares across fidelity tiers.
     peak_queue_bytes: int = 0
+    #: Closed-loop transport accounting (all zero for open-loop runs):
+    #: second-and-later copies on the wire, deliveries of already-seen
+    #: sequence numbers, and the raw delivered-byte rate *including*
+    #: duplicates.  ``delivered_goodput_gbps`` stays first-copy-only, so
+    #: ``throughput - goodput`` is exactly the duplicated traffic.
+    retransmitted_packets: int = 0
+    retransmitted_bytes: int = 0
+    duplicate_packets: int = 0
+    throughput_gbps: float = 0.0
     drop_breakdown: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 

@@ -55,6 +55,7 @@ from repro.validation.invariants import (
     PacketConservation,
     ParkingSlotLeak,
     RegisterBounds,
+    RetransmitAccounting,
     RunObservation,
     Violation,
 )
@@ -88,6 +89,7 @@ __all__ = [
     "RELATION_REGISTRY",
     "RateMonotonicity",
     "RegisterBounds",
+    "RetransmitAccounting",
     "RunObservation",
     "SeedDeterminism",
     "TimeScaleInvariance",

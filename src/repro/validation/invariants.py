@@ -226,8 +226,13 @@ class GoodputBound(Invariant):
                     )
                 )
         traffic_model = getattr(obs.scenario, "traffic_model", None)
+        # Closed-loop transports are exempt from the window-level check
+        # too: their offered load is emergent (ACK-clocked), so a window
+        # can legitimately drain a backlog built before it opened.
         constant_rate = traffic_model is None or (
-            traffic_model.schedule is None and traffic_model.stream_factory is None
+            traffic_model.schedule is None
+            and traffic_model.stream_factory is None
+            and getattr(traffic_model, "transport_factory", None) is None
         )
         for report in obs.reports:
             if not 0.0 <= report.drop_rate <= 1.0:
@@ -248,6 +253,91 @@ class GoodputBound(Invariant):
                         f"exceeds offered load {report.offered_gbps:.4f} Gbps",
                         delivered_goodput_gbps=report.delivered_goodput_gbps,
                         offered_gbps=report.offered_gbps,
+                    )
+                )
+        return violations
+
+
+class RetransmitAccounting(Invariant):
+    """Retransmitted bytes reconcile throughput against goodput exactly.
+
+    Once a closed-loop transport retransmits, "delivered" splits into
+    goodput (the first copy of each sequence number) and duplicates
+    (later copies of the same data).  This invariant pins the split with
+    exact counter identities between the generator node and its
+    transport engine, checked after the drain:
+
+    * every frame on the wire is a first transmission or a counted
+      retransmission (``packets_sent == distinct + retransmitted``);
+    * every delivery is a counted unique or a counted duplicate
+      (``packets_received == unique + duplicate``);
+    * goodput bytes equal the unique deliveries' useful bytes — the
+      identity that catches a duplicate double-counted into goodput;
+    * no more unique sequence numbers delivered than were ever sent.
+
+    Open-loop runs assert the degenerate form: both retransmission
+    counters must be exactly zero.
+    """
+
+    name = "retransmit-accounting"
+
+    def check(self, obs: RunObservation) -> List[Violation]:
+        violations: List[Violation] = []
+        for attachment in obs.topology.attachments:
+            gen = attachment.pktgen
+            transport = getattr(gen, "transport", None)
+            if transport is None:
+                for counter in ("retransmitted_packets", "duplicate_packets_received"):
+                    value = getattr(gen, counter, 0)
+                    if value:
+                        violations.append(
+                            self._violation(
+                                obs,
+                                f"{gen.name}: open-loop generator reports "
+                                f"{counter} = {value} (must be 0)",
+                                counter=counter,
+                                value=value,
+                            )
+                        )
+                continue
+            identities = [
+                ("wire frames vs transport sends",
+                 gen.packets_sent, transport.segments_sent),
+                ("sends split into first+retx",
+                 transport.segments_sent,
+                 transport.distinct_segments_sent + transport.retx_segments),
+                ("node vs transport retransmit count",
+                 gen.retransmitted_packets, transport.retx_segments),
+                ("deliveries split into unique+duplicate",
+                 gen.packets_received,
+                 transport.unique_delivered_segments + transport.duplicate_segments),
+                ("node vs transport duplicate count",
+                 gen.duplicate_packets_received, transport.duplicate_segments),
+                ("goodput bytes vs unique deliveries",
+                 gen.useful_bytes_received,
+                 transport.unique_delivered_useful_bytes),
+            ]
+            for label, left, right in identities:
+                if left != right:
+                    violations.append(
+                        self._violation(
+                            obs,
+                            f"{gen.name}: {label}: {left} != {right} "
+                            f"(delta {left - right})",
+                            identity=label,
+                            left=left,
+                            right=right,
+                        )
+                    )
+            if transport.unique_delivered_segments > transport.distinct_segments_sent:
+                violations.append(
+                    self._violation(
+                        obs,
+                        f"{gen.name}: {transport.unique_delivered_segments} unique "
+                        f"sequence numbers delivered but only "
+                        f"{transport.distinct_segments_sent} were ever sent",
+                        unique_delivered=transport.unique_delivered_segments,
+                        distinct_sent=transport.distinct_segments_sent,
                     )
                 )
         return violations
@@ -542,6 +632,7 @@ class NfStateConsistency(Invariant):
 DEFAULT_INVARIANTS = (
     PacketConservation(),
     GoodputBound(),
+    RetransmitAccounting(),
     LatencyCausality(),
     RegisterBounds(),
     ParkingSlotLeak(),

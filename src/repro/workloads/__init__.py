@@ -31,6 +31,11 @@ from repro.workloads.registry import (
 )
 from repro.workloads.replay import PcapReplayWorkload, synthetic_enterprise_capture
 from repro.workloads.schedule import RatePhase, TraceSchedule
+from repro.workloads.transport import (
+    ClosedLoopFlows,
+    ClosedLoopTransport,
+    ClosedLoopWorkload,
+)
 from repro.workloads.stats import (
     SMALL_FRAME_THRESHOLD_BYTES,
     TracedPacket,
@@ -41,6 +46,9 @@ from repro.workloads.stats import (
 __all__ = [
     "ArrivalModel",
     "ChurnFlows",
+    "ClosedLoopFlows",
+    "ClosedLoopTransport",
+    "ClosedLoopWorkload",
     "FlowModel",
     "GenerativePacketSource",
     "GenerativeWorkload",

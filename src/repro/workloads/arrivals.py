@@ -212,15 +212,17 @@ class IncastArrivals(ArrivalModel):
 
     ``duty`` compresses the intra-burst gaps (a fraction of the mean
     gap); the closing silent gap stretches so the long-run rate matches
-    the schedule exactly.
+    the schedule exactly.  ``fan_in=1`` is the degenerate edge — a
+    "burst" of one arrival per epoch — and collapses to exact uniform
+    pacing (every gap is a closing gap of one target).
     """
 
     fan_in: int = 32
     duty: float = 0.05
 
     def __post_init__(self) -> None:
-        if self.fan_in < 2:
-            raise WorkloadSpecError("fan_in must be >= 2")
+        if self.fan_in < 1:
+            raise WorkloadSpecError("fan_in must be >= 1")
         if not 0.0 < self.duty < 1.0:
             raise WorkloadSpecError("duty must lie in (0, 1)")
 

@@ -52,11 +52,20 @@ class TrafficModel:
         generator plays the stream verbatim instead of pacing bursts.
     loop_stream:
         Restart the replay stream when it runs dry (until the run ends).
+    transport_factory:
+        Builds a closed-loop transport engine
+        (:class:`~repro.workloads.transport.ClosedLoopTransport`) from
+        the generator's config and the node itself.  When set, the node
+        does not pace from the schedule at all — the transport's ACK
+        clock decides every transmission — so ``schedule``, ``arrivals``
+        and ``stream_factory`` are ignored.
     rescale:
         Rebuilds this model at a different mean offered rate (Gbps).
         Rate-probing callers (:meth:`ScenarioConfig.with_rate`, the peak
         goodput search) use it so schedules and replay speedups follow
         the probed rate instead of staying frozen at the nominal one.
+        Closed-loop models return themselves unchanged: their offered
+        load is emergent, not configured.
     """
 
     schedule: Optional[TraceSchedule] = None
@@ -64,6 +73,7 @@ class TrafficModel:
     source_factory: Optional[Callable[[Any], Any]] = None
     stream_factory: Optional[StreamFactory] = None
     loop_stream: bool = True
+    transport_factory: Optional[Callable[[Any, Any], Any]] = None
     rescale: Optional[Callable[[float], "TrafficModel"]] = None
 
 

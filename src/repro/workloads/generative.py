@@ -192,16 +192,11 @@ class GenerativeWorkload(WorkloadSpec):
         trace: List[TracedPacket] = []
         t_ns = 0.0
         for _ in range(max_packets):
-            if schedule is not None:
-                rate = schedule.rate_at(int(t_ns))
-                if rate <= 0:
-                    active = schedule.next_active(int(t_ns))
-                    if active is None:
-                        break
-                    t_ns = float(active)
-                    rate = schedule.rate_at(int(t_ns))
-            else:
-                rate = flat_rate
+            if schedule is not None and schedule.rate_at(int(t_ns)) <= 0:
+                active = schedule.next_active(int(t_ns))
+                if active is None:
+                    break
+                t_ns = float(active)
             packet = source.next_packet()
             size = packet.wire_length
             trace.append(
@@ -214,7 +209,16 @@ class GenerativeWorkload(WorkloadSpec):
                     dst_port=packet.l4.dst_port,
                 )
             )
-            t_ns += sampler.next_gap_ns(size * 8.0 / rate)
+            # Integral pacing mirrors the live generator: a ramp rising
+            # from ~zero must not quote its instantaneous rate across
+            # the whole gap.
+            if schedule is not None:
+                target = schedule.gap_for_bits(t_ns, size * 8.0)
+                if target is None:
+                    break
+            else:
+                target = size * 8.0 / flat_rate
+            t_ns += sampler.next_gap_ns(target)
         return trace
 
     def describe(self) -> dict:

@@ -28,6 +28,7 @@ from repro.workloads.flowmodels import ChurnFlows, HeavyTailFlows, RoundRobinFlo
 from repro.workloads.generative import GenerativeWorkload
 from repro.workloads.replay import PcapReplayWorkload
 from repro.workloads.schedule import TraceSchedule
+from repro.workloads.transport import ClosedLoopFlows, ClosedLoopWorkload
 
 #: Workload name → zero-argument builder returning a fresh spec.
 WORKLOAD_REGISTRY: Dict[str, Callable[[], WorkloadSpec]] = {}
@@ -148,6 +149,53 @@ def _pcap_replay() -> WorkloadSpec:
     return PcapReplayWorkload.synthetic(packet_count=512, seed=20, rate_gbps=8.0)
 
 
+def _incast_collapse() -> WorkloadSpec:
+    # The TCP-incast pathology: many synchronized senders slow-start
+    # into one egress buffer at once.  The 1 ms minimum RTO is enormous
+    # against the microsecond base RTT, so each synchronized loss epoch
+    # stalls its flows for ~1000 RTTs — the goodput collapse that only a
+    # closed loop can exhibit (the open-loop `incast-sync` twin keeps
+    # blasting through the same drops).
+    return ClosedLoopWorkload(
+        name="incast-collapse",
+        description="64-way synchronized TCP incast into one egress buffer",
+        flows=ClosedLoopFlows(
+            flow_count=64,
+            segments_per_transfer=24,
+            mss_bytes=1068,
+            initial_cwnd_segments=2,
+            initial_ssthresh_segments=64,
+            min_rto_ns=1_000_000,
+            sync_epochs=True,
+            start_jitter_ns=2_000,
+        ),
+        rate_gbps=6.0,
+    )
+
+
+def _rpc_fanout() -> WorkloadSpec:
+    # Request/response RPC shape: modest fan-out, short responses,
+    # independent (unsynchronized) flow restarts with think time — the
+    # regime where parking-induced RTT inflation shows up as spurious
+    # RTOs rather than buffer collapse.
+    return ClosedLoopWorkload(
+        name="rpc-fanout",
+        description="16-way RPC fan-out, short responses, independent restarts",
+        flows=ClosedLoopFlows(
+            flow_count=16,
+            segments_per_transfer=8,
+            mss_bytes=512,
+            initial_cwnd_segments=4,
+            initial_ssthresh_segments=32,
+            min_rto_ns=500_000,
+            sync_epochs=False,
+            think_time_ns=50_000,
+            start_jitter_ns=4_000,
+        ),
+        rate_gbps=4.0,
+    )
+
+
 register_workload("enterprise-poisson", _enterprise_poisson)
 register_workload("bursty-mmpp", _bursty_mmpp)
 register_workload("incast-sync", _incast_sync)
@@ -156,3 +204,5 @@ register_workload("flood-churn", _flood_churn)
 register_workload("rate-ramp", _rate_ramp)
 register_workload("diurnal", _diurnal_steps)
 register_workload("pcap-replay", _pcap_replay)
+register_workload("incast-collapse", _incast_collapse)
+register_workload("rpc-fanout", _rpc_fanout)

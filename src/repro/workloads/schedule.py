@@ -141,6 +141,74 @@ class TraceSchedule:
         weighted = sum(phase.mean_gbps() * phase.duration_ns for phase in self.phases)
         return weighted / self.total_duration_ns
 
+    def gap_for_bits(self, t_ns: float, bits: float) -> Optional[float]:
+        """Time from *t_ns* until the schedule has offered *bits* more bits.
+
+        This is the exact pacing primitive: the returned gap ``g``
+        satisfies ``∫ rate dt == bits`` over ``[t_ns, t_ns + g]`` (rate
+        in Gbps is bits per nanosecond).  Quoting the *instantaneous*
+        rate instead — ``bits / rate_at(t_ns)`` — freezes the pacer for
+        nearly the whole phase when a ramp rises from (almost) zero, and
+        sleeps blindly across phase boundaries; integrating is immune to
+        both.  Returns ``None`` when the schedule goes silent forever
+        before *bits* are offered (a non-repeating profile ending at
+        rate zero).
+        """
+        if bits <= 0:
+            return 0.0
+        remaining = float(bits)
+        cursor = float(t_ns)
+        if self.repeat:
+            # Fast-forward whole cycles so huge requests stay O(phases).
+            cycle_bits = self.mean_gbps() * self.total_duration_ns
+            local = cursor % self.total_duration_ns
+            head = self._segment_bits(local, self.total_duration_ns - local)
+            if remaining > head:
+                cycles = int((remaining - head) // cycle_bits)
+                remaining -= cycles * cycle_bits
+                cursor += cycles * self.total_duration_ns
+        for _ in range(2 * len(self.phases) + 2):
+            if not self.repeat and cursor >= self.total_duration_ns:
+                hold = self.phases[-1].end_gbps  # final rate holds forever
+                if hold <= 0:
+                    return None
+                return cursor + remaining / hold - t_ns
+            local = cursor % self.total_duration_ns if self.repeat else cursor
+            phase, offset = self._locate(int(local))
+            offset += local - int(local)  # keep the fractional part
+            span = phase.duration_ns - offset
+            r0 = phase.rate_at(offset)
+            r1 = phase.rate_at(phase.duration_ns)
+            slope = (phase.end_gbps - phase.start_gbps) / phase.duration_ns
+            capacity = (r0 + r1) * span / 2.0
+            if capacity >= remaining:
+                if slope == 0:
+                    gap = remaining / r0
+                else:
+                    # Solve r0*g + slope*g^2/2 == remaining (first root).
+                    gap = (
+                        math.sqrt(max(r0 * r0 + 2.0 * slope * remaining, 0.0)) - r0
+                    ) / slope
+                return cursor + gap - t_ns
+            remaining -= capacity
+            cursor += span
+        return None
+
+    def _segment_bits(self, t_ns: float, span_ns: float) -> float:
+        """Bits offered over ``[t_ns, t_ns + span_ns]`` within one cycle."""
+        total = 0.0
+        cursor = t_ns
+        end = t_ns + span_ns
+        while cursor < end:
+            phase, offset = self._locate(int(cursor))
+            offset += cursor - int(cursor)
+            piece = min(phase.duration_ns - offset, end - cursor)
+            if piece <= 0:
+                break
+            total += (phase.rate_at(offset) + phase.rate_at(offset + piece)) / 2.0 * piece
+            cursor += piece
+        return total
+
     def peak_gbps(self) -> float:
         """Highest instantaneous rate anywhere in the profile."""
         return max(max(phase.start_gbps, phase.end_gbps) for phase in self.phases)

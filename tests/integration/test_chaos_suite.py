@@ -27,7 +27,11 @@ from repro.experiments.scenarios import workload_scenario
 from repro.nf.loadbalancer import MaglevLoadBalancer
 from repro.orchestrator import CampaignExecutor, CampaignSpec
 from repro.validation.engine import ValidationObserver, check_scenario
-from repro.validation.invariants import NoOrphanedPayload, PacketConservation
+from repro.validation.invariants import (
+    NoOrphanedPayload,
+    PacketConservation,
+    RetransmitAccounting,
+)
 
 #: Cheap simulation fidelity for integration runs.
 TIME_SCALE = 0.05
@@ -131,6 +135,39 @@ class TestChaosHasObservableEffects:
             if observation.deployment == "payloadpark"
         ][0]
         assert park.topology.fault_injector.threshold_changes == 2
+
+
+class TestClosedLoopUnderChaos:
+    def test_retransmit_conservation_under_link_loss_and_park_drain(self):
+        # A closed-loop sender bank rides out a random-loss window AND a
+        # parked-payload drain in the same run: every lost frame costs a
+        # real retransmission, every drained payload a real eviction, and
+        # the retransmitted-bytes accounting still reconciles throughput
+        # against goodput exactly.
+        schedule = {"events": [
+            {"kind": "link_loss", "at_frac": 0.30, "duration_frac": 0.25,
+             "probability": 0.05, "link": "all"},
+            {"kind": "park_drain", "at_frac": 0.70, "fraction": 0.5},
+        ]}
+        observer = ValidationObserver(keep_observations=True)
+        runner = ExperimentRunner(time_scale=0.1)
+        with run_observer(observer):
+            runner.compare(_chaos_scenario(schedule, workload="incast-collapse"))
+        assert observer.runs_checked == 2 and not observer.violations, [
+            str(violation) for violation in observer.violations
+        ]
+        for observation in observer.observations:
+            assert RetransmitAccounting().check(observation) == []
+            assert PacketConservation().check(observation) == []
+            # The chaos had teeth: the transport really retransmitted.
+            gen = observation.topology.attachments[0].pktgen
+            assert gen.retransmitted_packets > 0
+            assert gen.transport.timeouts + gen.transport.fast_retransmits > 0
+        park = [
+            observation for observation in observer.observations
+            if observation.deployment == "payloadpark"
+        ][0]
+        assert sum(park.topology.fault_injector.slots_drained.values()) > 0
 
 
 class TestInjectedBugsAreCaught:

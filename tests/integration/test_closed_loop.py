@@ -1,0 +1,61 @@
+"""Integration: incast collapse appears only under the closed-loop transport.
+
+The same synchronized fan-in pattern is offered twice — once by the
+open-loop ``incast-sync`` workload (an arrival process that shrugs at
+drops) and once by the closed-loop ``incast-collapse`` workload (NewReno
+senders whose millisecond RTO floor dwarfs the microsecond RTT).  Only
+the closed loop may collapse: drops stall its ACC clock into timeouts
+and retransmissions, so delivered goodput falls far below the open-loop
+figure at the same operating point.
+"""
+
+import pytest
+
+from repro.experiments.runner import DeploymentKind, ExperimentRunner
+from repro.experiments.scenarios import workload_scenario
+from repro.validation.engine import check_scenario
+
+TIME_SCALE = 0.5
+
+
+@pytest.fixture(scope="module")
+def reports():
+    runner = ExperimentRunner(time_scale=TIME_SCALE)
+    open_loop = runner.run_deployment(
+        workload_scenario("incast-sync"), DeploymentKind.PAYLOADPARK
+    )
+    closed_loop = runner.run_deployment(
+        workload_scenario("incast-collapse"), DeploymentKind.PAYLOADPARK
+    )
+    return open_loop, closed_loop
+
+
+class TestIncastCollapse:
+    def test_collapse_only_under_closed_loop(self, reports):
+        open_loop, closed_loop = reports
+        # Open loop sails through the same fan-in without retransmitting
+        # a single frame; the closed loop loses a fraction of every
+        # synchronized window and pays RTO stalls for it.
+        assert open_loop.retransmitted_packets == 0
+        assert closed_loop.retransmitted_packets > 0
+        assert closed_loop.delivered_goodput_gbps < open_loop.delivered_goodput_gbps / 3
+
+    def test_loss_is_real_only_for_the_closed_loop(self, reports):
+        open_loop, closed_loop = reports
+        assert open_loop.drop_rate < 0.01
+        assert closed_loop.drop_rate > 0.05
+
+    def test_goodput_never_exceeds_throughput(self, reports):
+        _open_loop, closed_loop = reports
+        assert closed_loop.throughput_gbps >= closed_loop.delivered_goodput_gbps
+        assert closed_loop.delivered_goodput_gbps > 0
+
+
+class TestClosedLoopValidation:
+    @pytest.mark.parametrize("workload", ["incast-collapse", "rpc-fanout"])
+    def test_invariants_hold_under_closed_loop(self, workload):
+        report = check_scenario(
+            workload_scenario(workload), time_scale=0.1
+        )
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.runs_checked == 2

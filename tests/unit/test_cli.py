@@ -209,6 +209,30 @@ class TestWorkloadCli:
         assert first["seed"] == 5
         assert first["summary"]["packets"] == 300
 
+    def test_preview_renders_closed_loop_transport_state(self, capsys):
+        assert main(["workload", "preview", "incast-collapse", "--packets", "300"]) == 0
+        output = capsys.readouterr().out
+        assert "closed-loop transport" in output
+        assert "min_rto_us" in output and "modeled_rounds" in output
+
+    def test_preview_json_carries_transport_block(self, capsys):
+        assert main(["workload", "preview", "rpc-fanout", "--packets", "200",
+                     "--seed", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["transport"]["flows"] == 16
+        assert payload["transport"]["sync_epochs"] is False
+
+    def test_preview_open_loop_has_no_transport_block(self, capsys):
+        assert main(["workload", "preview", "incast-sync", "--packets", "200",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "transport" not in payload
+
+    def test_describe_closed_loop_names_the_transport(self, capsys):
+        assert main(["workload", "describe", "incast-collapse"]) == 0
+        output = capsys.readouterr().out
+        assert "NewReno" in output and "synchronized barrier" in output
+
     def test_preview_rate_rescales(self, capsys):
         assert main(["workload", "preview", "enterprise-poisson", "--packets",
                      "2000", "--rate", "16", "--json"]) == 0

@@ -417,6 +417,56 @@ class TestExecutor:
         assert again.exhausted == 0
         assert store.record_count() == 4
 
+    def test_sharded_resume_keeps_exhausted_terminal(self, tmp_path):
+        """Regression (sharded path): once a cell carries only a terminal
+        `exhausted` marker inside a shard file, no surface may call it
+        pending — a fresh auto-detecting reader must find the marker,
+        the aggregate row must say 'exhausted', and a resume must skip
+        the cell without stamping another marker."""
+        campaign = small_campaign(grid={"send_rate_gbps": [4.0]})
+        spec_hash = campaign.expand()[0].spec_hash
+        seeded = ResultStore(tmp_path / "grid.jsonl", shards=3)
+        for attempt in range(3):
+            seeded.append(
+                {"spec_hash": spec_hash, "status": "error", "error": f"boom {attempt}"}
+            )
+        summary = CampaignExecutor(workers=1, max_attempts=3).run_campaign(
+            campaign, store=seeded
+        )
+        assert summary.exhausted == 1
+
+        # Re-open with no shard config: the layout is auto-detected and
+        # the terminal marker read back out of its shard file.
+        fresh = ResultStore(tmp_path / "grid.jsonl")
+        latest = fresh.latest_by_hash()
+        assert latest[spec_hash]["status"] == "exhausted"
+        assert fresh.completed_hashes() == set()
+
+        # The `campaign status` arithmetic: the cell is exhausted, not
+        # pending (and certainly not completed).
+        specs = campaign.expand()
+        done = sum(1 for spec in specs if spec.spec_hash in fresh.completed_hashes())
+        exhausted = sum(
+            1
+            for spec in specs
+            if latest.get(spec.spec_hash, {}).get("status") == "exhausted"
+        )
+        assert done == 0
+        assert len(specs) - done - exhausted == 0  # pending count
+
+        # The aggregate surface agrees.
+        rows = campaign_rows(campaign, fresh.load(), include_missing=True)
+        assert [row["status"] for row in rows] == ["exhausted"]
+
+        # Resuming against the re-opened store skips the cell cleanly.
+        again = CampaignExecutor(workers=1, max_attempts=3).run_campaign(
+            campaign, store=fresh
+        )
+        assert again.executed == 0
+        assert again.skipped == 1
+        assert again.exhausted == 0
+        assert fresh.record_count() == 4  # 3 errors + 1 marker, nothing new
+
     def test_below_budget_failures_are_still_retried(self, tmp_path):
         campaign = small_campaign(grid={"send_rate_gbps": [4.0]})
         store = ResultStore(tmp_path / "grid.jsonl")

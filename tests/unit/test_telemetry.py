@@ -118,9 +118,16 @@ class TestLatencyEdgeCases:
 class TestGoodputWindowBoundaries:
     """gbps() and gain math at degenerate windows and baselines."""
 
-    def test_zero_and_negative_windows_yield_zero(self):
+    def test_zero_width_window_is_explicit_zero(self):
         assert gbps(1_000, 0) == 0.0
-        assert gbps(1_000, -5) == 0.0
+
+    def test_negative_window_raises(self):
+        # A negative window means the caller swapped interval ends; the
+        # old behavior returned 0.0 and masked the bug as "no goodput".
+        with pytest.raises(ValueError):
+            gbps(1_000, -5)
+        with pytest.raises(ValueError):
+            gbps(0, -1)
 
     def test_zero_bytes_over_any_window(self):
         assert gbps(0, 1) == 0.0
@@ -129,11 +136,17 @@ class TestGoodputWindowBoundaries:
     def test_sub_nanosecond_window_is_well_defined(self):
         assert gbps(1, 0.5) == pytest.approx(16.0)
 
-    def test_gain_and_savings_with_degenerate_baselines(self):
-        assert goodput_gain_percent(5.0, -1.0) == 0.0
+    def test_gain_and_savings_with_zero_baselines(self):
+        assert goodput_gain_percent(5.0, 0.0) == 0.0
         assert goodput_gain_percent(0.0, 2.0) == pytest.approx(-100.0)
-        assert savings_percent(-1.0, 5.0) == 0.0
+        assert savings_percent(0.0, 5.0) == 0.0
         assert savings_percent(10.0, 0.0) == pytest.approx(100.0)
+
+    def test_negative_baselines_raise(self):
+        with pytest.raises(ValueError):
+            goodput_gain_percent(5.0, -1.0)
+        with pytest.raises(ValueError):
+            savings_percent(-1.0, 5.0)
         assert savings_percent(10.0, 12.0) == pytest.approx(-20.0)
 
 

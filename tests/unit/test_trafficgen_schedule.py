@@ -86,6 +86,40 @@ class TestScheduledGeneration:
         assert all(t < 20_000 for t in times)
         assert env.pending_events == 0
 
+    def test_ramp_from_zero_is_not_starved(self):
+        # Regression: the pacer used to quote the instantaneous (~zero)
+        # rate at the foot of the ramp and sleep ~forever; integral
+        # pacing emits the full offered volume (~100 kB here).
+        schedule = TraceSchedule.ramp(0.0, 8.0, 200_000)
+        env, pktgen, sink = _wired_pktgen(TrafficModel(schedule=schedule))
+        times = _tx_times((env, pktgen, sink), duration_ns=200_000)
+        assert len(times) >= 150  # the starved pacer managed a handful
+
+    def test_schedule_starting_silent_waits_for_first_active_phase(self):
+        schedule = TraceSchedule.steps([(50_000, 0.0), (150_000, 8.0)])
+        env, pktgen, sink = _wired_pktgen(TrafficModel(schedule=schedule))
+        times = _tx_times((env, pktgen, sink), duration_ns=200_000)
+        assert times
+        assert min(times) >= 50_000
+
+    def test_repeating_schedule_with_leading_silence(self):
+        schedule = TraceSchedule.steps([(50_000, 0.0), (50_000, 8.0)], repeat=True)
+        env, pktgen, sink = _wired_pktgen(TrafficModel(schedule=schedule))
+        times = _tx_times((env, pktgen, sink), duration_ns=200_000)
+        assert times
+        # Every emission falls inside an active half-cycle.
+        assert all(t % 100_000 >= 50_000 for t in times)
+
+    def test_nonrepeating_schedule_draining_to_zero_stops_cleanly(self):
+        # The offered load runs dry mid-run: the pacer must halt rather
+        # than schedule an infinitely-deferred burst.
+        schedule = TraceSchedule.steps([(30_000, 8.0), (170_000, 0.0)])
+        env, pktgen, sink = _wired_pktgen(TrafficModel(schedule=schedule))
+        times = _tx_times((env, pktgen, sink), duration_ns=200_000)
+        assert times
+        assert max(times) < 30_000
+        assert env.pending_events == 0
+
     def test_current_rate_tracks_schedule(self):
         schedule = TraceSchedule.ramp(2.0, 12.0, 100_000)
         env, pktgen, _sink = _wired_pktgen(TrafficModel(schedule=schedule))

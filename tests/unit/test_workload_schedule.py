@@ -1,5 +1,7 @@
 """Unit tests for time-varying offered-load schedules."""
 
+import math
+
 import pytest
 
 from repro.errors import WorkloadSpecError
@@ -103,3 +105,68 @@ class TestTraceSchedule:
         lines = schedule.describe()
         assert len(lines) == 3
         assert "(repeats)" in lines[-1]
+
+
+class TestGapForBits:
+    """Integral pacing: ``gap_for_bits`` solves ``∫ rate dt == bits``.
+
+    These pin the fix for the ramp-from-zero starvation bug: the old
+    pacer quoted the *instantaneous* rate across the whole gap, which
+    froze a generator at the foot of a ramp and slept blindly across
+    phase boundaries.
+    """
+
+    def test_flat_phase_matches_instantaneous_rate(self):
+        schedule = TraceSchedule.constant(8.0)
+        assert schedule.gap_for_bits(0, 8_000) == pytest.approx(1_000.0)
+
+    def test_zero_or_negative_bits_cost_no_time(self):
+        schedule = TraceSchedule.constant(8.0)
+        assert schedule.gap_for_bits(0, 0) == 0.0
+        assert schedule.gap_for_bits(123.5, -7) == 0.0
+
+    def test_ramp_from_zero_does_not_starve(self):
+        # rate_at(0) == 0, so instantaneous pacing would quote an
+        # (effectively) infinite gap; the integral gap is finite.
+        schedule = TraceSchedule.ramp(0.0, 8.0, 100_000)
+        slope = 8.0 / 100_000
+        bits = 8_192.0
+        gap = schedule.gap_for_bits(0, bits)
+        assert gap == pytest.approx(math.sqrt(2.0 * bits / slope))
+        # The area under the ramp over the gap equals the request.
+        assert slope * gap * gap / 2.0 == pytest.approx(bits)
+
+    def test_crosses_phase_boundary_instead_of_sleeping_blind(self):
+        schedule = TraceSchedule.steps([(1_000, 8.0), (1_000, 2.0)])
+        # 8k bits drain phase 0 exactly; 2k more take 1000 ns at 2 Gbps.
+        assert schedule.gap_for_bits(0, 10_000) == pytest.approx(2_000.0)
+
+    def test_mid_phase_start_offsets_correctly(self):
+        schedule = TraceSchedule.steps([(50_000, 8.0), (50_000, 2.0)])
+        assert schedule.gap_for_bits(25_000, 100_000) == pytest.approx(12_500.0)
+
+    def test_final_rate_holds_past_the_end(self):
+        schedule = TraceSchedule.ramp(2.0, 12.0, 4_000)
+        assert schedule.gap_for_bits(8_000, 12_000) == pytest.approx(1_000.0)
+
+    def test_none_when_silent_forever(self):
+        schedule = TraceSchedule.steps([(1_000, 4.0), (1_000, 0.0)])
+        # Only 4k bits are ever offered after t=0; asking for 5k never
+        # completes, and asking from inside the final silence never starts.
+        assert schedule.gap_for_bits(0, 5_000) is None
+        assert schedule.gap_for_bits(1_500, 100) is None
+
+    def test_repeat_wraps_through_silence(self):
+        schedule = TraceSchedule.steps(
+            [(100_000, 4.0), (100_000, 0.0)], repeat=True
+        )
+        assert schedule.gap_for_bits(0, 400_000) == pytest.approx(100_000.0)
+        # A second active phase's worth: wait out the silent half first.
+        assert schedule.gap_for_bits(0, 800_000) == pytest.approx(300_000.0)
+
+    def test_repeat_fast_forwards_many_cycles(self):
+        schedule = TraceSchedule.steps([(1_000, 4.0), (1_000, 0.0)], repeat=True)
+        # 1000 full cycles (4k bits each) plus half of the next active
+        # phase; the cycle fast-forward keeps this O(phases), not O(cycles).
+        gap = schedule.gap_for_bits(0, 4_000 * 1000 + 2_000)
+        assert gap == pytest.approx(1000 * 2_000 + 500.0)

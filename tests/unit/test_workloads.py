@@ -80,6 +80,13 @@ class TestArrivalModels:
         assert gaps[8:15] == [small] * 7
         assert sum(gaps[:8]) == pytest.approx(8 * TARGET_GAP_NS)
 
+    def test_fan_in_of_one_degenerates_to_uniform(self):
+        # The degenerate edge: every "burst" is a single arrival, so
+        # each gap is a closing gap of exactly one target — uniform
+        # pacing, mean preserved, no off-by-one epoch arithmetic.
+        gaps = _gaps(IncastArrivals(fan_in=1), count=32)
+        assert set(gaps) == {TARGET_GAP_NS}
+
     def test_validation(self):
         with pytest.raises(WorkloadSpecError):
             MMPPArrivals(on_fraction=0.0)
@@ -88,7 +95,7 @@ class TestArrivalModels:
         with pytest.raises(WorkloadSpecError):
             MMPPArrivals(burst_factor=0.5)
         with pytest.raises(WorkloadSpecError):
-            IncastArrivals(fan_in=1)
+            IncastArrivals(fan_in=0)
         with pytest.raises(WorkloadSpecError):
             IncastArrivals(duty=1.0)
 

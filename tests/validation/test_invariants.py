@@ -5,7 +5,11 @@ from dataclasses import replace
 import pytest
 
 from repro.experiments.runner import ExperimentRunner, run_observer
-from repro.experiments.scenarios import explicit_drop_scenario, fw_nat_lb_10ge
+from repro.experiments.scenarios import (
+    explicit_drop_scenario,
+    fw_nat_lb_10ge,
+    workload_scenario,
+)
 from repro.validation.engine import ValidationObserver, _TimeMonitor, check_scenario
 from repro.validation.invariants import (
     GoodputBound,
@@ -13,6 +17,7 @@ from repro.validation.invariants import (
     PacketConservation,
     ParkingSlotLeak,
     RegisterBounds,
+    RetransmitAccounting,
 )
 
 
@@ -139,6 +144,73 @@ class TestDetection:
         finally:
             counters.splits -= 1
         assert violations and violations[0].check == "parking-slot-leak"
+
+
+@pytest.fixture(scope="module")
+def closed_loop_runs():
+    """Both deployments of a closed-loop scenario, observations retained."""
+    observer = ValidationObserver(keep_observations=True)
+    with run_observer(observer):
+        ExperimentRunner(time_scale=0.1).compare(workload_scenario("rpc-fanout"))
+    assert observer.runs_checked == 2
+    return observer
+
+
+class TestRetransmitAccounting:
+    """The goodput/throughput split survives adversarial counter edits."""
+
+    def test_clean_closed_loop_run_passes(self, closed_loop_runs):
+        assert closed_loop_runs.violations == []
+        for obs in closed_loop_runs.observations:
+            assert RetransmitAccounting().check(obs) == []
+
+    def test_detects_duplicate_double_counted_into_goodput(self, closed_loop_runs):
+        # The injected bug: a duplicate delivery's useful bytes are
+        # credited to goodput as well (the exact double-count the
+        # goodput-vs-throughput split exists to prevent).
+        obs = _payloadpark_obs(closed_loop_runs)
+        gen = obs.topology.attachments[0].pktgen
+        gen.useful_bytes_received += 42
+        try:
+            violations = RetransmitAccounting().check(obs)
+        finally:
+            gen.useful_bytes_received -= 42
+        assert violations
+        assert any("goodput bytes" in v.message for v in violations)
+        assert all(v.check == "retransmit-accounting" for v in violations)
+
+    def test_detects_uncounted_retransmission(self, closed_loop_runs):
+        obs = _payloadpark_obs(closed_loop_runs)
+        transport = obs.topology.attachments[0].pktgen.transport
+        transport.retx_segments += 1
+        try:
+            violations = RetransmitAccounting().check(obs)
+        finally:
+            transport.retx_segments -= 1
+        assert any("retransmit count" in v.message or "first+retx" in v.message
+                   for v in violations)
+
+    def test_detects_phantom_unique_deliveries(self, closed_loop_runs):
+        obs = _payloadpark_obs(closed_loop_runs)
+        transport = obs.topology.attachments[0].pktgen.transport
+        original = transport.unique_delivered_segments
+        transport.unique_delivered_segments = transport.distinct_segments_sent + 3
+        try:
+            violations = RetransmitAccounting().check(obs)
+        finally:
+            transport.unique_delivered_segments = original
+        assert any("ever sent" in v.message for v in violations)
+
+    def test_open_loop_generators_must_report_zero_retransmits(self, observed_runs):
+        obs = _payloadpark_obs(observed_runs)
+        gen = obs.topology.attachments[0].pktgen
+        assert RetransmitAccounting().check(obs) == []
+        gen.retransmitted_packets += 1
+        try:
+            violations = RetransmitAccounting().check(obs)
+        finally:
+            gen.retransmitted_packets -= 1
+        assert violations and "open-loop" in violations[0].message
 
 
 class TestTimeMonitor:
